@@ -1,0 +1,96 @@
+package dssmem_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dssmem"
+)
+
+func TestFacadeQuickstartPath(t *testing.T) {
+	data := dssmem.GenerateData(0.002, 42)
+	if len(data.Lineitem) == 0 {
+		t.Fatal("no data")
+	}
+	st, err := dssmem.Run(dssmem.RunOptions{
+		Spec:        dssmem.VClass(16, 256),
+		Data:        data,
+		Query:       dssmem.Q6,
+		Processes:   2,
+		OSTimeScale: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dssmem.Measure(st)
+	if m.Machine != "HP V-Class" || m.CPI <= 1 {
+		t.Fatalf("measurement: %+v", m)
+	}
+	ref := dssmem.ReferenceAnswer(dssmem.Q6, data)
+	if ref.Revenue == 0 {
+		t.Fatal("reference answer degenerate")
+	}
+}
+
+func TestFacadeMachines(t *testing.T) {
+	v := dssmem.VClass(16, 1)
+	o := dssmem.Origin(32, 1)
+	if v.Name == o.Name || v.CPUs != 16 || o.CPUs != 32 {
+		t.Fatalf("specs: %s/%s", v.Name, o.Name)
+	}
+	if dssmem.NewMachineSpec().CPUs != 0 {
+		t.Fatal("NewMachineSpec should be zero")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	p, err := dssmem.PresetByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := dssmem.NewEnv(p)
+	var buf bytes.Buffer
+	r, err := dssmem.RunFigure(env, 3, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "fig3" || !strings.Contains(buf.String(), "Cycles per instruction") {
+		t.Fatalf("figure: %s\n%s", r.ID, buf.String())
+	}
+	if len(dssmem.FigureIDs()) != 9 {
+		t.Fatalf("figures: %v", dssmem.FigureIDs())
+	}
+	if len(dssmem.AblationNames()) < 7 {
+		t.Fatalf("ablations: %v", dssmem.AblationNames())
+	}
+}
+
+func TestFacadeQueryLists(t *testing.T) {
+	if len(dssmem.Queries) != 3 {
+		t.Fatalf("paper queries: %v", dssmem.Queries)
+	}
+	if len(dssmem.ExtendedQueries) != 4 {
+		t.Fatalf("extended queries: %v", dssmem.ExtendedQueries)
+	}
+	if dssmem.Q1.String() != "Q1" {
+		t.Fatal("Q1 not exposed")
+	}
+}
+
+func TestFacadeExtensionQueryRuns(t *testing.T) {
+	data := dssmem.GenerateData(0.002, 42)
+	st, err := dssmem.Run(dssmem.RunOptions{
+		Spec:        dssmem.Origin(32, 256),
+		Data:        data,
+		Query:       dssmem.Q1,
+		Processes:   2,
+		OSTimeScale: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dssmem.Measure(st).Instructions == 0 {
+		t.Fatal("Q1 ran no instructions")
+	}
+}

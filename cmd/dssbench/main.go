@@ -1,0 +1,111 @@
+// Command dssbench regenerates the paper's evaluation figures and ablations.
+//
+// Usage:
+//
+//	dssbench [-preset tiny|small|medium] [-fig N|all] [-ablation name|all|none]
+//
+// Examples:
+//
+//	dssbench -fig all                 # every figure at the default preset
+//	dssbench -preset small -fig 9     # just the memory-latency figure
+//	dssbench -ablation migratory      # one ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"dssmem"
+)
+
+func main() {
+	preset := flag.String("preset", "medium", "scale preset: tiny, small or medium")
+	fig := flag.String("fig", "all", "figure number 2..10, or 'all', or 'none'")
+	ablation := flag.String("ablation", "none", "ablation name, 'all', or 'none'")
+	format := flag.String("format", "table", "output format: table, csv or json")
+	chart := flag.Bool("chart", false, "append terminal sparklines for sweep figures")
+	list := flag.Bool("list", false, "list available figures and ablations")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("figures: ", dssmem.FigureIDs())
+		fmt.Println("ablations:", dssmem.AblationNames())
+		return
+	}
+
+	p, err := dssmem.PresetByName(*preset)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	env := dssmem.NewEnv(p)
+	if *format == "table" {
+		fmt.Printf("preset %s: SF=%.4f memScale=%d — %d lineitems, %d orders (%.1f MB raw)\n\n",
+			p.Name, p.SF, p.MemScale, len(env.Data.Lineitem), len(env.Data.Orders),
+			float64(env.Data.RawBytes())/1e6)
+	}
+
+	var figs []int
+	switch *fig {
+	case "all":
+		figs = dssmem.FigureIDs()
+	case "none":
+	default:
+		n, err := strconv.Atoi(*fig)
+		if err != nil {
+			fatal(fmt.Errorf("bad -fig %q: %w", *fig, err))
+		}
+		figs = []int{n}
+	}
+	emit := func(r *dssmem.FigureResult) {
+		var err error
+		switch *format {
+		case "csv":
+			err = r.WriteCSV(os.Stdout)
+		case "json":
+			err = r.WriteJSON(os.Stdout)
+		default:
+			_, err = r.WriteTo(os.Stdout)
+			if err == nil && *chart {
+				err = r.WriteChart(os.Stdout)
+			}
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	for _, id := range figs {
+		r, err := dssmem.RunFigure(env, id, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit(r)
+	}
+
+	var abls []string
+	switch *ablation {
+	case "all":
+		abls = dssmem.AblationNames()
+	case "none", "":
+	default:
+		abls = []string{*ablation}
+	}
+	for _, name := range abls {
+		r, err := dssmem.RunAblation(env, name, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit(r)
+	}
+	if *format == "table" {
+		fmt.Printf("total: %s\n", time.Since(start).Truncate(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dssbench:", err)
+	os.Exit(1)
+}

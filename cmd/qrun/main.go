@@ -1,0 +1,100 @@
+// Command qrun runs one TPC-H query on one simulated machine and prints the
+// answer alongside the hardware-counter profile — the equivalent of the
+// paper's single instrumented query run.
+//
+// Usage:
+//
+//	qrun [-query Q6|Q21|Q12] [-machine vclass|origin] [-procs N] [-sf 0.004] [-memscale 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dssmem"
+)
+
+func main() {
+	query := flag.String("query", "Q6", "query: Q6, Q21 or Q12")
+	mach := flag.String("machine", "vclass", "machine: vclass or origin")
+	procs := flag.Int("procs", 1, "number of parallel query processes (1..8)")
+	sf := flag.Float64("sf", 0.004, "TPC-H scale factor")
+	memScale := flag.Int("memscale", 64, "cache capacity divisor (see DESIGN.md §4)")
+	seed := flag.Uint64("seed", 7, "data generator seed")
+	flag.Parse()
+
+	var q dssmem.QueryID
+	switch strings.ToUpper(*query) {
+	case "Q6":
+		q = dssmem.Q6
+	case "Q21":
+		q = dssmem.Q21
+	case "Q12":
+		q = dssmem.Q12
+	default:
+		fatal(fmt.Errorf("unknown query %q", *query))
+	}
+	var spec dssmem.MachineSpec
+	switch strings.ToLower(*mach) {
+	case "vclass", "hpv", "v-class":
+		spec = dssmem.VClass(16, *memScale)
+	case "origin", "sgi", "origin2000":
+		spec = dssmem.Origin(32, *memScale)
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *mach))
+	}
+
+	data := dssmem.GenerateData(*sf, *seed)
+	ans := dssmem.ReferenceAnswer(q, data)
+	st, err := dssmem.Run(dssmem.RunOptions{
+		Spec: spec, Data: data, Query: q, Processes: *procs, OSTimeScale: *memScale,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	m := dssmem.Measure(st)
+
+	fmt.Printf("%s on %s, %d process(es), SF=%g (%d lineitems)\n\n",
+		q, spec.Name, *procs, *sf, len(data.Lineitem))
+	printAnswer(ans)
+	fmt.Printf("\n-- counters (mean per process) --\n")
+	fmt.Printf("thread time     %.4g cycles (%.4f s wall)\n", m.ThreadCycles, m.WallSeconds)
+	fmt.Printf("instructions    %.4g\n", m.Instructions)
+	fmt.Printf("CPI             %.3f\n", m.CPI)
+	fmt.Printf("L1 D misses     %.4g (%.0f /1M instr, %.2f%% of refs)\n", m.L1Misses, m.L1MissesPerM, 100*m.L1MissRate)
+	if m.L2Misses > 0 {
+		fmt.Printf("L2 D misses     %.4g (%.0f /1M instr)\n", m.L2Misses, m.L2MissesPerM)
+	}
+	fmt.Printf("miss classes    cold %.1f%% capacity %.1f%% coherence %.1f%%\n",
+		100*m.ColdFraction, 100*m.CapacityFraction, 100*m.CoherenceFraction)
+	fmt.Printf("mem latency     %.1f cycles (%.3f us)\n", m.MemLatencyCycles, m.MemLatencyMicros)
+	fmt.Printf("ctx switches    %.2f voluntary, %.2f involuntary per 1M instr\n", m.VolPerM, m.InvolPerM)
+}
+
+func printAnswer(r *dssmem.QueryResult) {
+	switch r.Query {
+	case dssmem.Q6:
+		fmt.Printf("Q6 revenue: %d.%02d\n", r.Revenue/100, r.Revenue%100)
+	case dssmem.Q12:
+		fmt.Println("Q12 (shipmode, high-priority count, low-priority count):")
+		for _, g := range r.Q12 {
+			fmt.Printf("  mode %d: high %d, low %d\n", g.ShipMode, g.HighCount, g.LowCount)
+		}
+	case dssmem.Q21:
+		fmt.Printf("Q21 top waiting suppliers (%d rows):\n", len(r.Q21))
+		for i, g := range r.Q21 {
+			if i >= 10 {
+				fmt.Printf("  ... and %d more\n", len(r.Q21)-10)
+				break
+			}
+			fmt.Printf("  supplier %d: %d waits\n", g.SuppKey, g.NumWait)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Quickstart: generate a small TPC-H database, run Q6 on the simulated HP
+// V-Class, and print the answer next to the hardware-counter profile —
+// the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dssmem"
+)
+
+func main() {
+	// A small database: SF 0.002 is ~12k lineitem rows. memScale 128 shrinks
+	// the machines' caches by the same proportion the database is shrunk
+	// from the paper's 200 MB (see DESIGN.md §4).
+	const memScale = 128
+	data := dssmem.GenerateData(0.002, 42)
+	fmt.Printf("database: %d lineitems, %d orders (%.2f MB raw)\n",
+		len(data.Lineitem), len(data.Orders), float64(data.RawBytes())/1e6)
+
+	// The answer computed directly over the rows...
+	want := dssmem.ReferenceAnswer(dssmem.Q6, data)
+	fmt.Printf("reference Q6 revenue: %d.%02d\n", want.Revenue/100, want.Revenue%100)
+
+	// ...and the same query executed by the mini DBMS on the simulated
+	// machine. Run() validates the two agree.
+	st, err := dssmem.Run(dssmem.RunOptions{
+		Spec:        dssmem.VClass(16, memScale),
+		Data:        data,
+		Query:       dssmem.Q6,
+		Processes:   1,
+		OSTimeScale: memScale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := dssmem.Measure(st)
+	fmt.Printf("\n%s, %s, %d process:\n", m.Machine, m.Query, m.Processes)
+	fmt.Printf("  thread time   %.4g cycles (%.4f s)\n", m.ThreadCycles, m.WallSeconds)
+	fmt.Printf("  CPI           %.3f\n", m.CPI)
+	fmt.Printf("  D-cache       %.4g misses (%.0f per 1M instr)\n", m.L1Misses, m.L1MissesPerM)
+	fmt.Printf("  mem latency   %.1f cycles\n", m.MemLatencyCycles)
+	fmt.Printf("  miss classes  %.0f%% cold, %.0f%% capacity, %.0f%% coherence\n",
+		100*m.ColdFraction, 100*m.CapacityFraction, 100*m.CoherenceFraction)
+}

@@ -1,0 +1,3 @@
+module dssmem
+
+go 1.22

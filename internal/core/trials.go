@@ -1,0 +1,46 @@
+package core
+
+import (
+	"dssmem/internal/stats"
+	"dssmem/internal/workload"
+)
+
+// Trials is a set of repeated measurements of one configuration.
+type Trials []Measurement
+
+// MeasureTrials converts repeated runs into Trials.
+func MeasureTrials(sts []*workload.Stats) Trials {
+	out := make(Trials, len(sts))
+	for i, st := range sts {
+		out[i] = FromStats(st)
+	}
+	return out
+}
+
+// Summary aggregates one metric across the trials.
+func (t Trials) Summary(metric func(Measurement) float64) stats.Summary {
+	xs := make([]float64, len(t))
+	for i, m := range t {
+		xs[i] = metric(m)
+	}
+	return stats.Summarize(xs)
+}
+
+// Mean returns a Measurement whose headline metrics are the trial means —
+// the "average values" the paper reports. Identity fields come from the
+// first trial.
+func (t Trials) Mean() Measurement {
+	if len(t) == 0 {
+		return Measurement{}
+	}
+	m := t[0]
+	m.ThreadCycles = t.Summary(MetricThreadCycles).Mean
+	m.CPI = t.Summary(MetricCPI).Mean
+	m.CyclesPerMInstr = t.Summary(MetricCyclesPerM).Mean
+	m.L1MissesPerM = t.Summary(MetricL1PerM).Mean
+	m.L2MissesPerM = t.Summary(MetricL2PerM).Mean
+	m.MemLatencyCycles = t.Summary(MetricMemLatency).Mean
+	m.VolPerM = t.Summary(MetricVolPerM).Mean
+	m.InvolPerM = t.Summary(func(x Measurement) float64 { return x.InvolPerM }).Mean
+	return m
+}

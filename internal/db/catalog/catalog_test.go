@@ -1,0 +1,89 @@
+package catalog
+
+import (
+	"testing"
+
+	"dssmem/internal/db/btree"
+	"dssmem/internal/db/dbtest"
+	"dssmem/internal/db/storage"
+)
+
+func testCatalog() (*Catalog, *storage.Pool) {
+	pool := storage.NewPool(0x100000, 8)
+	return New(0x1000, 1<<16), pool
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	c, pool := testCatalog()
+	h := storage.NewHeap(pool, storage.NewSchema(storage.Column{Name: "k", Width: 8}))
+	r := c.Create("t1", h)
+	if r.ID == 0 || r.Name != "t1" || r.MetaAddr == 0 {
+		t.Fatalf("relation: %+v", r)
+	}
+	p := &dbtest.FakeProc{}
+	got := c.Lookup(p, "t1")
+	if got != r {
+		t.Fatal("lookup returned wrong relation")
+	}
+	if p.Loads < 3 || p.Works == 0 {
+		t.Fatal("catalog probe charged nothing")
+	}
+	if c.Relations() != 1 {
+		t.Fatalf("relations = %d", c.Relations())
+	}
+}
+
+func TestDuplicateCreatePanics(t *testing.T) {
+	c, pool := testCatalog()
+	h := storage.NewHeap(pool, storage.NewSchema(storage.Column{Name: "k", Width: 8}))
+	c.Create("t", h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Create("t", h)
+}
+
+func TestUnknownLookupPanics(t *testing.T) {
+	c, _ := testCatalog()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Lookup(storage.NullMem{}, "missing")
+}
+
+func TestIndexAttachment(t *testing.T) {
+	c, pool := testCatalog()
+	h := storage.NewHeap(pool, storage.NewSchema(storage.Column{Name: "k", Width: 8}))
+	r := c.Create("t", h)
+	ix := btree.New(pool)
+	c.AddIndex(r, "t_pk", ix)
+	if r.Index("t_pk") != ix {
+		t.Fatal("index lost")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing index")
+		}
+	}()
+	r.Index("nope")
+}
+
+func TestMetaAddrsLineAligned(t *testing.T) {
+	c, pool := testCatalog()
+	var prev *Relation
+	for i := 0; i < 10; i++ {
+		h := storage.NewHeap(pool, storage.NewSchema(storage.Column{Name: "k", Width: 8}))
+		r := c.Create(string(rune('a'+i)), h)
+		if r.MetaAddr%64 != 0 {
+			t.Fatalf("meta addr %#x not line aligned", r.MetaAddr)
+		}
+		if prev != nil && r.MetaAddr == prev.MetaAddr {
+			t.Fatal("catalog rows alias")
+		}
+		prev = r
+	}
+}

@@ -1,0 +1,59 @@
+// Package dbtest provides a lightweight fake process for testing the DBMS
+// layers without instantiating a machine model: time advances with work, and
+// all charges are tallied.
+package dbtest
+
+import "dssmem/internal/memsys"
+
+// FakeProc satisfies engine.Proc/lock.Proc/storage.Mem.
+type FakeProc struct {
+	Clock    uint64
+	Loads    uint64
+	Stores   uint64
+	Works    uint64
+	Spins    uint64
+	Backoffs uint64
+
+	// Trace captures charged addresses when non-nil.
+	Trace []memsys.Addr
+	Keep  bool
+}
+
+// Load implements the charging interface.
+func (f *FakeProc) Load(a memsys.Addr, size int) {
+	f.Loads++
+	f.Clock += 2
+	if f.Keep {
+		f.Trace = append(f.Trace, a)
+	}
+}
+
+// Store implements the charging interface.
+func (f *FakeProc) Store(a memsys.Addr, size int) {
+	f.Stores++
+	f.Clock += 2
+	if f.Keep {
+		f.Trace = append(f.Trace, a)
+	}
+}
+
+// Work implements the charging interface.
+func (f *FakeProc) Work(n uint64) {
+	f.Works += n
+	f.Clock += n
+}
+
+// Spin implements lock.Proc.
+func (f *FakeProc) Spin() {
+	f.Spins++
+	f.Clock += 4
+}
+
+// Backoff implements lock.Proc.
+func (f *FakeProc) Backoff() {
+	f.Backoffs++
+	f.Clock += 100_000
+}
+
+// Now implements lock.Proc.
+func (f *FakeProc) Now() uint64 { return f.Clock }

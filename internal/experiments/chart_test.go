@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteChartRendersSeries(t *testing.T) {
+	r, err := Fig9(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChart(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig9 series") || !strings.Contains(out, "Q21") {
+		t.Fatalf("chart output:\n%s", out)
+	}
+}
+
+func TestWriteChartNoSeriesIsNoop(t *testing.T) {
+	r := &Result{ID: "x"}
+	var buf bytes.Buffer
+	if err := r.WriteChart(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("chart emitted output without series")
+	}
+}
+
+func TestEStateFlattensFig9Jump(t *testing.T) {
+	r, err := EState(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	mesi, msi := r.Series[0], r.Series[1]
+	mesiJump := mesi.Points[1].MemLatencyCycles - mesi.Points[0].MemLatencyCycles
+	msiJump := msi.Points[1].MemLatencyCycles - msi.Points[0].MemLatencyCycles
+	if msiJump >= mesiJump {
+		t.Fatalf("MSI 1->2 jump (%.2f) should be below MESI's (%.2f)", msiJump, mesiJump)
+	}
+}
+
+func TestPlatformsIncludesStarfire(t *testing.T) {
+	r, err := Platforms(sharedEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range r.Rows {
+		if row[0] == "Sun Starfire" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Starfire missing from the platform comparison")
+	}
+}

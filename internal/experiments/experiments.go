@@ -1,0 +1,161 @@
+// Package experiments regenerates the paper's evaluation: one experiment per
+// figure (Figs. 2–10), plus ablations of the design choices DESIGN.md calls
+// out. Each experiment prints the same rows/series the paper reports and
+// returns them as structured data for tests and benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dssmem/internal/core"
+	"dssmem/internal/machine"
+	"dssmem/internal/tpch"
+	"dssmem/internal/workload"
+)
+
+// Preset bundles a database scale factor with the matching machine memory
+// scale (DESIGN.md §4: cache capacities divide by MemScale so the
+// working-set:cache ratios match the paper's 200 MB : {2 MB, 32 KB, 4 MB}).
+type Preset struct {
+	Name     string
+	SF       float64
+	MemScale int
+	Seed     uint64
+}
+
+// The standard presets.
+var (
+	// Tiny is for unit tests: seconds of wall time for a full figure.
+	Tiny = Preset{Name: "tiny", SF: 0.002, MemScale: 256, Seed: 7}
+	// Small is for benchmarks.
+	Small = Preset{Name: "small", SF: 0.006, MemScale: 64, Seed: 7}
+	// Medium is the default for the dssbench harness.
+	Medium = Preset{Name: "medium", SF: 0.016, MemScale: 32, Seed: 7}
+)
+
+// PresetByName resolves a preset name.
+func PresetByName(name string) (Preset, error) {
+	switch name {
+	case "tiny":
+		return Tiny, nil
+	case "small":
+		return Small, nil
+	case "medium", "":
+		return Medium, nil
+	}
+	return Preset{}, fmt.Errorf("experiments: unknown preset %q (tiny|small|medium)", name)
+}
+
+// ProcCounts is the multiprogramming sweep of the paper's Figs. 5–10.
+var ProcCounts = []int{1, 2, 4, 6, 8}
+
+// Env is a shared experimental environment: one generated database reused by
+// every figure, plus a cache of completed runs (Figs. 2–4 share the same
+// configurations, as do Figs. 5–10).
+type Env struct {
+	Preset Preset
+	Data   *tpch.Data
+
+	mu    sync.Mutex
+	cache map[runKey]core.Measurement
+	// Parallelism bounds concurrent simulations (each is single-threaded).
+	Parallelism int
+}
+
+type runKey struct {
+	tag   string
+	query tpch.QueryID
+	procs int
+}
+
+// NewEnv generates the preset's database once and returns the environment.
+func NewEnv(p Preset) *Env {
+	return NewEnvWith(p, tpch.Generate(p.SF, p.Seed))
+}
+
+// NewEnvWith reuses an already-generated database (benchmarks regenerate the
+// run cache every iteration but share the data).
+func NewEnvWith(p Preset, d *tpch.Data) *Env {
+	return &Env{
+		Preset:      p,
+		Data:        d,
+		cache:       make(map[runKey]core.Measurement),
+		Parallelism: runtime.GOMAXPROCS(0),
+	}
+}
+
+// VClass returns the V-Class spec at this environment's scale.
+func (e *Env) VClass() machine.Spec { return machine.VClassSpec(16, e.Preset.MemScale) }
+
+// Origin returns the Origin 2000 spec at this environment's scale.
+func (e *Env) Origin() machine.Spec { return machine.OriginSpec(32, e.Preset.MemScale) }
+
+// Measure runs (or recalls) one configuration on an unmodified machine.
+func (e *Env) Measure(spec machine.Spec, q tpch.QueryID, procs int) (core.Measurement, error) {
+	return e.MeasureOpts(spec.Name, q, procs, workload.Options{Spec: spec})
+}
+
+// MeasureOpts runs one configuration with workload overrides; tag must
+// uniquely name the machine variant (ablations pass e.g. "vclass-nomigratory").
+func (e *Env) MeasureOpts(tag string, q tpch.QueryID, procs int, opts workload.Options) (core.Measurement, error) {
+	key := runKey{tag: tag, query: q, procs: procs}
+	e.mu.Lock()
+	if m, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		return m, nil
+	}
+	e.mu.Unlock()
+
+	opts.Data = e.Data
+	opts.Query = q
+	opts.Processes = procs
+	if opts.OSTimeScale == 0 {
+		opts.OSTimeScale = e.Preset.MemScale
+	}
+	st, err := workload.Run(opts)
+	if err != nil {
+		return core.Measurement{}, fmt.Errorf("%s/%v/p%d: %w", tag, q, procs, err)
+	}
+	m := core.FromStats(st)
+	e.mu.Lock()
+	e.cache[key] = m
+	e.mu.Unlock()
+	return m, nil
+}
+
+// Sweep measures a query over ProcCounts on one machine variant, in parallel
+// up to Env.Parallelism, and returns the series in ascending process count.
+func (e *Env) Sweep(tag string, spec machine.Spec, q tpch.QueryID, opts workload.Options) (core.Series, error) {
+	s := core.Series{Machine: spec.Name, Query: q.String(), Points: make([]core.Measurement, len(ProcCounts))}
+	sem := make(chan struct{}, e.parallelism())
+	errs := make([]error, len(ProcCounts))
+	var wg sync.WaitGroup
+	for i, n := range ProcCounts {
+		i, n := i, n
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			o := opts
+			o.Spec = spec
+			s.Points[i], errs[i] = e.MeasureOpts(tag, q, n, o)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func (e *Env) parallelism() int {
+	if e.Parallelism < 1 {
+		return 1
+	}
+	return e.Parallelism
+}

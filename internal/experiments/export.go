@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+
+	"dssmem/internal/core"
+)
+
+// This file makes harness results machine-readable: CSV for the tables and
+// JSON for the full structured result (rows, series, notes).
+
+// WriteCSV emits the result's table as CSV (headers first).
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Headers); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonResult is the stable JSON shape of a Result.
+type jsonResult struct {
+	ID      string       `json:"id"`
+	Title   string       `json:"title"`
+	Headers []string     `json:"headers"`
+	Rows    [][]string   `json:"rows"`
+	Series  []jsonSeries `json:"series,omitempty"`
+	Notes   []string     `json:"notes,omitempty"`
+}
+
+type jsonSeries struct {
+	Machine string             `json:"machine"`
+	Query   string             `json:"query"`
+	Points  []core.Measurement `json:"points"`
+}
+
+// WriteJSON emits the full structured result as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := jsonResult{
+		ID:      r.ID,
+		Title:   r.Title,
+		Headers: r.Headers,
+		Rows:    r.Rows,
+		Notes:   r.Notes,
+	}
+	for _, s := range r.Series {
+		out.Series = append(out.Series, jsonSeries{Machine: s.Machine, Query: s.Query, Points: s.Points})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

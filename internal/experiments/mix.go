@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dssmem/internal/tpch"
+	"dssmem/internal/workload"
+)
+
+// Mix runs the heterogeneous reading of the paper's §4 ("Multiple (Diff)
+// Query Execution"): all three queries running concurrently, one per process,
+// and reports each query's per-process slowdown relative to running alone.
+// Interference here is purely memory-system and lock-level — processes never
+// share CPUs — which is exactly the channel the paper studies.
+func Mix(e *Env) (*Result, error) {
+	r := &Result{
+		ID:      "mix",
+		Title:   "Heterogeneous mix: Q6+Q21+Q12 together (6 processes, 2 per query) vs alone",
+		Headers: []string{"machine", "query", "alone cyc", "mixed cyc", "slowdown"},
+	}
+	mix := []tpch.QueryID{tpch.Q6, tpch.Q21, tpch.Q12}
+	for _, which := range []int{0, 1} {
+		spec := e.VClass()
+		if which == 1 {
+			spec = e.Origin()
+		}
+		st, err := workload.Run(workload.Options{
+			Spec:        spec,
+			Data:        e.Data,
+			Mix:         mix,
+			Processes:   6,
+			OSTimeScale: e.Preset.MemScale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Mean thread cycles per query within the mix.
+		mixed := map[tpch.QueryID]float64{}
+		counts := map[tpch.QueryID]float64{}
+		for _, p := range st.Procs {
+			mixed[p.Query] += float64(p.ThreadCycles)
+			counts[p.Query]++
+		}
+		for _, q := range mix {
+			alone, err := e.Measure(spec, q, 1)
+			if err != nil {
+				return nil, err
+			}
+			avg := mixed[q] / counts[q]
+			r.Rows = append(r.Rows, []string{
+				spec.Name, q.String(),
+				fm(alone.ThreadCycles), fm(avg),
+				fmt.Sprintf("%.3fx", avg/alone.ThreadCycles),
+			})
+		}
+	}
+	r.Notes = append(r.Notes,
+		"slowdown = mean thread cycles in the mix / thread cycles alone; processes never share CPUs, so all interference is memory-system and lock-level")
+	return r, nil
+}
+
+func init() {
+	Ablations["mix"] = Mix
+}

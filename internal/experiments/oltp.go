@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dssmem/internal/oltp"
+)
+
+// OLTP contrasts the DSS study with a transactional companion workload and
+// quantifies the paper's §2.2 remark that relation-level locking "may become
+// a bottleneck in multiple parallel queries": a TPC-C-flavoured
+// Payment/New-Order mix under relation-level vs row-level write locks, on
+// both machines, at 1 and 8 processes.
+func OLTP(e *Env) (*Result, error) {
+	cfg := oltp.DefaultConfig()
+	// Keep the run proportionate to the preset.
+	cfg.Transactions = 40 + 10*e.Preset.MemScale/32
+
+	r := &Result{
+		ID:      "oltp",
+		Title:   "OLTP companion workload: lock granularity under write contention",
+		Headers: []string{"machine", "locks", "procs", "tx/Mcycle", "backoffs", "dirty-3hop", "coherence%"},
+	}
+	for _, which := range []int{0, 1} {
+		spec := e.VClass()
+		if which == 1 {
+			spec = e.Origin()
+		}
+		for _, gran := range []oltp.Granularity{oltp.RelationLocks, oltp.RowLocks} {
+			for _, n := range []int{1, 8} {
+				c := cfg
+				c.Granularity = gran
+				st, err := oltp.Run(spec, c, n, e.Preset.MemScale)
+				if err != nil {
+					return nil, err
+				}
+				r.Rows = append(r.Rows, []string{
+					spec.Name, gran.String(), fmt.Sprint(n),
+					fmt.Sprintf("%.2f", st.TxPerMCycle()),
+					fmt.Sprint(st.Backoffs),
+					fmt.Sprint(st.Dirty3Hop),
+					fmt.Sprintf("%.1f", st.CoherencePct),
+				})
+			}
+		}
+	}
+	r.Notes = append(r.Notes,
+		"paper §2.2: 'currently PostgreSQL fully supports only relation level locking. This may become a bottleneck in multiple parallel queries' — visible as the relation-lock throughput collapse at 8 writers",
+		"contrast with DSS: writes make communication (dirty 3-hop hand-offs) a first-order miss component, as the OLTP characterizations in the paper's related work report")
+	return r, nil
+}
+
+func init() {
+	Ablations["oltp"] = OLTP
+}

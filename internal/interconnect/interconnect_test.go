@@ -1,0 +1,194 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCrossbarUniform(t *testing.T) {
+	xb := Crossbar{Ports: 8, Hop: 12}
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if xb.Latency(s, d) != 12 {
+				t.Fatalf("latency(%d,%d) = %d", s, d, xb.Latency(s, d))
+			}
+		}
+	}
+	if xb.Endpoints() != 8 || xb.Name() == "" {
+		t.Fatal("metadata broken")
+	}
+}
+
+func TestHypercubeHops(t *testing.T) {
+	h := NewHypercube(16, 5, 10)
+	cases := []struct{ s, d, hops int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 2}, {0, 15, 4}, {5, 10, 4}, {7, 8, 4},
+	}
+	for _, c := range cases {
+		if got := h.Hops(c.s, c.d); got != c.hops {
+			t.Errorf("hops(%d,%d) = %d, want %d", c.s, c.d, got, c.hops)
+		}
+		want := 5 + uint64(c.hops)*10
+		if got := h.Latency(c.s, c.d); got != want {
+			t.Errorf("latency(%d,%d) = %d, want %d", c.s, c.d, got, want)
+		}
+	}
+}
+
+func TestHypercubeLocalCheaperThanRemote(t *testing.T) {
+	h := NewHypercube(16, 5, 10)
+	if h.Latency(3, 3) >= h.Latency(3, 2) {
+		t.Fatal("local access must be cheaper than any remote")
+	}
+}
+
+func TestHypercubeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two")
+		}
+	}()
+	NewHypercube(12, 1, 1)
+}
+
+func TestAvgRemoteHops(t *testing.T) {
+	h := NewHypercube(16, 0, 1)
+	// For a 4-cube, average Hamming distance to the 15 other nodes is
+	// sum(k * C(4,k))/15 = 32/15.
+	want := 32.0 / 15.0
+	if got := h.AvgRemoteHops(); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("avg hops = %v, want %v", got, want)
+	}
+	if NewHypercube(1, 0, 1).AvgRemoteHops() != 0 {
+		t.Fatal("single node has no remote hops")
+	}
+}
+
+// Property: hypercube latency is a metric-like function: symmetric, zero
+// extra cost iff same node.
+func TestHypercubeSymmetry(t *testing.T) {
+	h := NewHypercube(32, 7, 9)
+	f := func(a, b uint8) bool {
+		s, d := int(a%32), int(b%32)
+		if h.Latency(s, d) != h.Latency(d, s) {
+			return false
+		}
+		if s == d {
+			return h.Latency(s, d) == h.HubDelay
+		}
+		return h.Latency(s, d) > h.HubDelay
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerLightLoadNoQueueing(t *testing.T) {
+	s := &Server{Occupancy: 10}
+	var total uint64
+	now := uint64(0)
+	for i := 0; i < 200; i++ {
+		now += 1000 // gaps 100x the occupancy
+		total += s.Serve(now)
+	}
+	if total > 20 {
+		t.Fatalf("light load queued %d cycles", total)
+	}
+	if s.Requests != 200 {
+		t.Fatalf("requests = %d", s.Requests)
+	}
+}
+
+func TestServerHeavyLoadQueues(t *testing.T) {
+	s := &Server{Occupancy: 10}
+	now := uint64(0)
+	var last uint64
+	for i := 0; i < 500; i++ {
+		now += 12 // near saturation
+		last = s.Serve(now)
+	}
+	if last == 0 || s.TotalWait == 0 {
+		t.Fatal("heavy load produced no queueing")
+	}
+	if s.Utilization() < 0.5 {
+		t.Fatalf("utilization = %v", s.Utilization())
+	}
+}
+
+func TestServerDelayMonotoneInLoad(t *testing.T) {
+	delayAt := func(gap uint64) uint64 {
+		s := &Server{Occupancy: 10}
+		now := uint64(0)
+		var d uint64
+		for i := 0; i < 500; i++ {
+			now += gap
+			d = s.Serve(now)
+		}
+		return d
+	}
+	if !(delayAt(15) > delayAt(40) && delayAt(40) >= delayAt(400)) {
+		t.Fatalf("delays not monotone: %d %d %d", delayAt(15), delayAt(40), delayAt(400))
+	}
+}
+
+func TestServerOrderInsensitive(t *testing.T) {
+	// Interleaved out-of-order arrivals (quantum skew) must not produce
+	// delays wildly different from the ordered equivalent.
+	ordered := &Server{Occupancy: 10}
+	skewed := &Server{Occupancy: 10}
+	var totOrd, totSkew uint64
+	for i := 0; i < 400; i++ {
+		totOrd += ordered.Serve(uint64(i) * 100)
+	}
+	for i := 0; i < 200; i++ { // two processes, one 5000 cycles behind
+		totSkew += skewed.Serve(uint64(i)*200 + 5000)
+		totSkew += skewed.Serve(uint64(i) * 200)
+	}
+	if totSkew > 50*totOrd+1000 {
+		t.Fatalf("skew inflated queueing: %d vs %d", totSkew, totOrd)
+	}
+}
+
+func TestServerSaturationBounded(t *testing.T) {
+	s := &Server{Occupancy: 100}
+	var d uint64
+	for i := 0; i < 1000; i++ {
+		d = s.Serve(5) // all at the same instant
+	}
+	// M/D/1 at the 0.95 cap: 100*0.95/(2*0.05) = 950.
+	if d > 1000 {
+		t.Fatalf("saturated delay %d not capped", d)
+	}
+}
+
+func TestServerReset(t *testing.T) {
+	s := &Server{Occupancy: 10}
+	for i := 0; i < 100; i++ {
+		s.Serve(uint64(i * 11))
+	}
+	s.Reset()
+	if s.Requests != 0 || s.Utilization() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if w := s.Serve(0); w != 0 {
+		t.Fatalf("first request after reset waited %d", w)
+	}
+}
+
+// Property: total wait equals the sum of per-request waits and waits never
+// exceed requests.
+func TestServerAccounting(t *testing.T) {
+	f := func(arrivals []uint16) bool {
+		s := &Server{Occupancy: 7}
+		var sum uint64
+		now := uint64(0)
+		for _, a := range arrivals {
+			now += uint64(a % 20)
+			sum += s.Serve(now)
+		}
+		return sum == s.TotalWait && s.Waits <= s.Requests
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

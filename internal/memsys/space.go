@@ -1,0 +1,136 @@
+// Package memsys models the simulated physical address space shared by the
+// processes of a workload: a single large shared region (the DBMS shared
+// memory: buffer pool, lock tables, catalog) plus one private region per
+// process (executor state, sort/hash areas).
+//
+// Addresses are plain uint64 byte addresses. The package also implements
+// page-to-home-node placement policies for ccNUMA machines; UMA machines
+// interleave lines across memory controllers instead.
+package memsys
+
+// Addr is a simulated physical byte address.
+type Addr uint64
+
+// PageShift/PageSize define the OS page granularity used for NUMA placement.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4 KiB
+)
+
+// Region bases. Private regions are disjoint per process so that cross-process
+// false sharing can only happen in the shared region, as on the real machines.
+const (
+	SharedBase  Addr = 0x0000_0000_0000
+	privateBase Addr = 0x1000_0000_0000
+	privateSpan Addr = 0x0000_1000_0000 // 4 GiB of private space per process
+)
+
+// PrivateBase returns the base address of process pid's private region.
+func PrivateBase(pid int) Addr {
+	return privateBase + Addr(pid)*privateSpan
+}
+
+// IsPrivate reports whether addr falls in any private region, and if so whose.
+func IsPrivate(addr Addr) (pid int, ok bool) {
+	if addr < privateBase {
+		return 0, false
+	}
+	return int((addr - privateBase) / privateSpan), true
+}
+
+// Page returns the page number containing addr.
+func Page(addr Addr) uint64 { return uint64(addr) >> PageShift }
+
+// Allocator hands out non-overlapping chunks of one region. The zero value is
+// not usable; construct with NewAllocator.
+type Allocator struct {
+	base  Addr
+	next  Addr
+	limit Addr
+	name  string
+}
+
+// NewAllocator returns a bump allocator over [base, base+size).
+func NewAllocator(name string, base Addr, size uint64) *Allocator {
+	return &Allocator{base: base, next: base, limit: base + Addr(size), name: name}
+}
+
+// Alloc reserves size bytes aligned to align (a power of two; 0 or 1 means
+// unaligned) and returns the base address. It panics on exhaustion: the
+// simulated regions are sized by the harness, so exhaustion is a setup bug.
+func (a *Allocator) Alloc(size uint64, align uint64) Addr {
+	if align > 1 {
+		mask := Addr(align - 1)
+		a.next = (a.next + mask) &^ mask
+	}
+	base := a.next
+	a.next += Addr(size)
+	if a.next > a.limit {
+		panic("memsys: region " + a.name + " exhausted")
+	}
+	return base
+}
+
+// Used reports the number of bytes consumed so far, including alignment
+// padding.
+func (a *Allocator) Used() uint64 { return uint64(a.next - a.base) }
+
+// Base returns the region base address.
+func (a *Allocator) Base() Addr { return a.base }
+
+// Placement maps pages to home memory nodes/controllers.
+type Placement interface {
+	// Home returns the memory node that owns addr.
+	Home(addr Addr) int
+	// Nodes returns the number of memory nodes.
+	Nodes() int
+}
+
+// Interleaved spreads consecutive lines (or pages) round-robin over n
+// controllers. Used for the V-Class UMA memory system, where the hyperplane
+// crossbar gives every processor uniform access to 8 interleaved EMACs.
+type Interleaved struct {
+	N    int
+	Unit uint64 // interleave granularity in bytes (e.g. a cache line)
+}
+
+// Home implements Placement.
+func (iv Interleaved) Home(addr Addr) int {
+	u := iv.Unit
+	if u == 0 {
+		u = 64
+	}
+	return int((uint64(addr) / u) % uint64(iv.N))
+}
+
+// Nodes implements Placement.
+func (iv Interleaved) Nodes() int { return iv.N }
+
+// Concentrated places all *shared* pages on the first K nodes (round-robin
+// among them) and private pages on their owner's node. This mirrors the
+// paper's observation that on the Origin 2000 "shared memory requests from
+// different processors are routed to the same node or a couple of different
+// nodes which hold the shared memory for the DBMS".
+type Concentrated struct {
+	NodesTotal  int
+	SharedNodes int               // K nodes that hold the DBMS shared memory
+	OwnerNode   func(pid int) int // node of a process's CPU, for private pages
+}
+
+// Home implements Placement.
+func (c Concentrated) Home(addr Addr) int {
+	if pid, ok := IsPrivate(addr); ok {
+		if c.OwnerNode != nil {
+			return c.OwnerNode(pid) % c.NodesTotal
+		}
+		return pid % c.NodesTotal
+	}
+	k := c.SharedNodes
+	if k <= 0 {
+		k = 1
+	}
+	return int(Page(addr) % uint64(k))
+}
+
+// Nodes implements Placement.
+func (c Concentrated) Nodes() int { return c.NodesTotal }

@@ -1,0 +1,131 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrivateRegionsDisjoint(t *testing.T) {
+	for pid := 0; pid < 32; pid++ {
+		base := PrivateBase(pid)
+		gotPid, ok := IsPrivate(base)
+		if !ok || gotPid != pid {
+			t.Fatalf("IsPrivate(PrivateBase(%d)) = %d,%v", pid, gotPid, ok)
+		}
+		end := base + privateSpan - 1
+		gotPid, ok = IsPrivate(end)
+		if !ok || gotPid != pid {
+			t.Fatalf("last private byte of %d maps to %d,%v", pid, gotPid, ok)
+		}
+	}
+}
+
+func TestSharedIsNotPrivate(t *testing.T) {
+	for _, a := range []Addr{0, SharedBase + 100, privateBase - 1} {
+		if _, ok := IsPrivate(a); ok {
+			t.Fatalf("addr %#x classified private", a)
+		}
+	}
+}
+
+func TestAllocatorSequentialAndAligned(t *testing.T) {
+	a := NewAllocator("t", 1000, 10000)
+	x := a.Alloc(10, 0)
+	if x != 1000 {
+		t.Fatalf("first alloc at %d", x)
+	}
+	y := a.Alloc(4, 64)
+	if y%64 != 0 || y < x+10 {
+		t.Fatalf("aligned alloc at %d", y)
+	}
+	if a.Used() == 0 || a.Base() != 1000 {
+		t.Fatalf("bookkeeping broken: used=%d base=%d", a.Used(), a.Base())
+	}
+}
+
+func TestAllocatorExhaustionPanics(t *testing.T) {
+	a := NewAllocator("t", 0, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Alloc(17, 0)
+}
+
+func TestInterleavedPlacement(t *testing.T) {
+	iv := Interleaved{N: 8, Unit: 32}
+	counts := make([]int, 8)
+	for i := 0; i < 8*32*10; i += 32 {
+		counts[iv.Home(Addr(i))]++
+	}
+	for n, c := range counts {
+		if c != 10 {
+			t.Fatalf("node %d got %d units, want 10", n, c)
+		}
+	}
+	if iv.Nodes() != 8 {
+		t.Fatalf("Nodes() = %d", iv.Nodes())
+	}
+}
+
+func TestConcentratedPlacement(t *testing.T) {
+	c := Concentrated{NodesTotal: 16, SharedNodes: 2, OwnerNode: func(pid int) int { return pid / 2 }}
+	// Shared pages only ever land on nodes 0 and 1.
+	for p := 0; p < 100; p++ {
+		h := c.Home(Addr(p * PageSize))
+		if h != 0 && h != 1 {
+			t.Fatalf("shared page %d homed at %d", p, h)
+		}
+	}
+	// Private pages land on the owner's node.
+	for pid := 0; pid < 8; pid++ {
+		if h := c.Home(PrivateBase(pid) + 123); h != pid/2 {
+			t.Fatalf("private page of %d homed at %d, want %d", pid, h, pid/2)
+		}
+	}
+}
+
+func TestConcentratedDefaults(t *testing.T) {
+	c := Concentrated{NodesTotal: 4}
+	if h := c.Home(Addr(5 * PageSize)); h != 0 {
+		t.Fatalf("SharedNodes=0 should pin to node 0, got %d", h)
+	}
+	if h := c.Home(PrivateBase(9)); h != 9%4 {
+		t.Fatalf("nil OwnerNode fallback: got %d", h)
+	}
+}
+
+// Property: every address has exactly one home and it is within range.
+func TestPlacementTotality(t *testing.T) {
+	iv := Interleaved{N: 8, Unit: 128}
+	con := Concentrated{NodesTotal: 16, SharedNodes: 2}
+	f := func(a uint64) bool {
+		h1 := iv.Home(Addr(a))
+		h2 := con.Home(Addr(a))
+		return h1 >= 0 && h1 < 8 && h2 >= 0 && h2 < 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allocations never overlap.
+func TestAllocatorNoOverlap(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		a := NewAllocator("t", 4096, 1<<20)
+		var prevEnd Addr
+		for _, s := range sizes {
+			sz := uint64(s) + 1
+			base := a.Alloc(sz, 8)
+			if base < prevEnd {
+				return false
+			}
+			prevEnd = base + Addr(sz)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

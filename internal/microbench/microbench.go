@@ -1,0 +1,140 @@
+// Package microbench implements the microbenchmarks of Iyer et al. [4] (the
+// authors' earlier V-Class/Origin study) against the simulated machines:
+// dependent-load latency, streaming bandwidth, and lock ping-pong. They
+// calibrate and sanity-check the machine models — e.g. that remote dirty
+// misses cost more on the Origin, and that the V-Class crossbar is uniform.
+package microbench
+
+import (
+	"dssmem/internal/machine"
+	"dssmem/internal/memsys"
+	"dssmem/internal/simos"
+	"dssmem/internal/tpch"
+)
+
+// LatencyResult reports a pointer-chase experiment.
+type LatencyResult struct {
+	Machine        string
+	WorkingSet     int
+	AvgCycles      float64 // per dependent load
+	AvgNanoseconds float64
+}
+
+// Latency measures average dependent-load latency over a working set of the
+// given size in the shared region (cold caches, stride one line).
+func Latency(spec machine.Spec, workingSet int, iters int) LatencyResult {
+	m := machine.New(spec)
+	osys := simos.New(m, simos.DefaultConfig(spec.ClockMHz), 0)
+	line := spec.L1.LineSize
+	lines := workingSet / line
+	if lines < 1 {
+		lines = 1
+	}
+	osys.Spawn(0, func(p *simos.Process) {
+		for i := 0; i < iters; i++ {
+			addr := memsys.SharedBase + memsys.Addr((i%lines)*line)
+			p.Load(addr, 8)
+		}
+	})
+	if err := osys.Run(); err != nil {
+		panic(err) // no user input: a failure is a model bug
+	}
+	ct := m.Counters(0)
+	avg := float64(ct.Cycles) / float64(iters)
+	return LatencyResult{
+		Machine:        spec.Name,
+		WorkingSet:     workingSet,
+		AvgCycles:      avg,
+		AvgNanoseconds: avg * 1000 / float64(spec.ClockMHz),
+	}
+}
+
+// BandwidthResult reports a streaming-read experiment.
+type BandwidthResult struct {
+	Machine       string
+	BytesPerCycle float64
+	MBPerSecond   float64
+}
+
+// Bandwidth streams bytes sequentially through one CPU and reports the
+// achieved read bandwidth.
+func Bandwidth(spec machine.Spec, bytes int) BandwidthResult {
+	m := machine.New(spec)
+	osys := simos.New(m, simos.DefaultConfig(spec.ClockMHz), 0)
+	osys.Spawn(0, func(p *simos.Process) {
+		for off := 0; off < bytes; off += 8 {
+			p.Load(memsys.SharedBase+memsys.Addr(off), 8)
+		}
+	})
+	if err := osys.Run(); err != nil {
+		panic(err)
+	}
+	cyc := float64(m.Counters(0).Cycles)
+	bpc := float64(bytes) / cyc
+	return BandwidthResult{
+		Machine:       spec.Name,
+		BytesPerCycle: bpc,
+		MBPerSecond:   bpc * float64(spec.ClockMHz),
+	}
+}
+
+// PingPongResult reports a dirty-line hand-off experiment.
+type PingPongResult struct {
+	Machine         string
+	Processes       int
+	CyclesPerAccess float64
+}
+
+// PingPong has n processes read-modify-write one shared line in turn — the
+// lock-metadata pattern whose hand-off cost the migratory enhancement and
+// the hypercube's extra hops shape.
+func PingPong(spec machine.Spec, n, rounds int) PingPongResult {
+	m := machine.New(spec)
+	osys := simos.New(m, simos.DefaultConfig(spec.ClockMHz), 256)
+	addr := memsys.SharedBase + memsys.Addr(1<<20)
+	for i := 0; i < n; i++ {
+		osys.Spawn(i, func(p *simos.Process) {
+			for r := 0; r < rounds; r++ {
+				p.Load(addr, 8)
+				p.Store(addr, 8)
+				p.Work(50)
+			}
+		})
+	}
+	if err := osys.Run(); err != nil {
+		panic(err)
+	}
+	var cyc uint64
+	for i := 0; i < n; i++ {
+		cyc += m.Counters(i).Cycles
+	}
+	return PingPongResult{
+		Machine:         spec.Name,
+		Processes:       n,
+		CyclesPerAccess: float64(cyc) / float64(2*n*rounds),
+	}
+}
+
+// ScanResult reports the DBMS-level scan microbenchmark (a tiny Q6).
+type ScanResult struct {
+	Machine      string
+	CPI          float64
+	MissesPerRow float64
+}
+
+// Scan runs a small sequential scan through the full DBMS stack — the
+// shortest path that exercises buffer pins, hint bits and the executor — as
+// a smoke-test kernel.
+func Scan(spec machine.Spec, sf float64) ScanResult {
+	data := tpch.Generate(sf, 99)
+	st, err := runScan(spec, data)
+	if err != nil {
+		panic(err)
+	}
+	c := st.MeanCounters()
+	return ScanResult{
+		Machine:      spec.Name,
+		CPI:          c.CPI(),
+		MissesPerRow: float64(c.L1DMisses) / float64(len(data.Lineitem)),
+	}
+}

@@ -1,0 +1,17 @@
+package microbench
+
+import (
+	"dssmem/internal/machine"
+	"dssmem/internal/tpch"
+	"dssmem/internal/workload"
+)
+
+// runScan executes Q6 once on one CPU of the given machine.
+func runScan(spec machine.Spec, data *tpch.Data) (*workload.Stats, error) {
+	return workload.Run(workload.Options{
+		Spec:      spec,
+		Data:      data,
+		Query:     tpch.Q6,
+		Processes: 1,
+	})
+}

@@ -1,0 +1,155 @@
+// Package perfctr models the hardware event counters the paper sampled: the
+// PA-8200 counters on the V-Class (accessed through the PARASOL library) and
+// the R10000 counters on the Origin 2000 (accessed via ioctl). The simulator
+// increments them at exactly the points the hardware would.
+package perfctr
+
+// Counters is one CPU's (or one process's aggregated) event-counter file.
+type Counters struct {
+	Cycles       uint64 // thread cycles (time the thread spent on-CPU)
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+
+	L1DMisses uint64 // V-Class: the single-level D-cache; Origin: L1 D
+	L2DMisses uint64 // Origin only; zero on single-level machines
+	Upgrades  uint64 // ownership requests for lines already present
+
+	// Miss classification, from the directory's global view.
+	ColdMisses      uint64
+	CapacityMisses  uint64
+	CoherenceMisses uint64
+
+	// Memory-latency accounting à la PA-8200: the hardware increments a
+	// counter each bus clock for every open memory request; summing request
+	// latencies gives the same integral.
+	MemRequests      uint64
+	MemLatencyCycles uint64
+	StallCycles      uint64 // pipeline stall cycles attributed to memory
+
+	Dirty3HopMisses uint64 // misses served by a dirty remote intervention
+
+	// OS events.
+	VolCtxSwitches   uint64
+	InvolCtxSwitches uint64
+
+	// Lock-manager events (DBMS instrumentation, as in the paper's modified
+	// PostgreSQL executable).
+	LockAcquires   uint64
+	SpinIterations uint64
+	LockBackoffs   uint64 // select() back-offs; each causes a VolCtxSwitch
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	c.Cycles += o.Cycles
+	c.Instructions += o.Instructions
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.L1DMisses += o.L1DMisses
+	c.L2DMisses += o.L2DMisses
+	c.Upgrades += o.Upgrades
+	c.ColdMisses += o.ColdMisses
+	c.CapacityMisses += o.CapacityMisses
+	c.CoherenceMisses += o.CoherenceMisses
+	c.MemRequests += o.MemRequests
+	c.MemLatencyCycles += o.MemLatencyCycles
+	c.StallCycles += o.StallCycles
+	c.Dirty3HopMisses += o.Dirty3HopMisses
+	c.VolCtxSwitches += o.VolCtxSwitches
+	c.InvolCtxSwitches += o.InvolCtxSwitches
+	c.LockAcquires += o.LockAcquires
+	c.SpinIterations += o.SpinIterations
+	c.LockBackoffs += o.LockBackoffs
+}
+
+// CPI returns cycles per instruction (0 when no instructions retired).
+func (c *Counters) CPI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / float64(c.Instructions)
+}
+
+// AvgMemLatency returns the mean memory-request latency in cycles — the
+// paper's Fig. 9 metric ("total time taken in completing a memory access
+// without considering latency hiding").
+func (c *Counters) AvgMemLatency() float64 {
+	if c.MemRequests == 0 {
+		return 0
+	}
+	return float64(c.MemLatencyCycles) / float64(c.MemRequests)
+}
+
+// PerMillionInstr scales an event count to events per 1M instructions, the
+// normalization used throughout the paper's multi-process figures.
+func (c *Counters) PerMillionInstr(events uint64) float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(events) / float64(c.Instructions) * 1e6
+}
+
+// Region classifies an address by the paper's DBMS data taxonomy ("there is
+// record data, index data, metadata and private data in a DBMS").
+type Region uint8
+
+// Regions.
+const (
+	RegionRecord Region = iota
+	RegionIndex
+	RegionMetadata
+	RegionPrivate
+	NumRegions
+)
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	switch r {
+	case RegionRecord:
+		return "record"
+	case RegionIndex:
+		return "index"
+	case RegionMetadata:
+		return "metadata"
+	case RegionPrivate:
+		return "private"
+	}
+	return "region?"
+}
+
+// RegionCounters tallies accesses and misses per data region.
+type RegionCounters struct {
+	Accesses [NumRegions]uint64
+	L1Misses [NumRegions]uint64
+	L2Misses [NumRegions]uint64
+}
+
+// Add accumulates o into r.
+func (r *RegionCounters) Add(o *RegionCounters) {
+	for i := 0; i < int(NumRegions); i++ {
+		r.Accesses[i] += o.Accesses[i]
+		r.L1Misses[i] += o.L1Misses[i]
+		r.L2Misses[i] += o.L2Misses[i]
+	}
+}
+
+// Share returns region i's fraction of the given per-region array.
+func Share(arr [NumRegions]uint64, i Region) float64 {
+	var total uint64
+	for _, v := range arr {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(arr[i]) / float64(total)
+}
+
+// MissRate returns misses/accesses for the given miss and access counts.
+func MissRate(misses, accesses uint64) float64 {
+	if accesses == 0 {
+		return 0
+	}
+	return float64(misses) / float64(accesses)
+}

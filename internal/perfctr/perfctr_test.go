@@ -1,0 +1,58 @@
+package perfctr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCPI(t *testing.T) {
+	c := Counters{Cycles: 300, Instructions: 200}
+	if c.CPI() != 1.5 {
+		t.Fatalf("CPI = %v", c.CPI())
+	}
+	var z Counters
+	if z.CPI() != 0 {
+		t.Fatal("zero instructions must not divide")
+	}
+}
+
+func TestAvgMemLatency(t *testing.T) {
+	c := Counters{MemRequests: 4, MemLatencyCycles: 400}
+	if c.AvgMemLatency() != 100 {
+		t.Fatalf("lat = %v", c.AvgMemLatency())
+	}
+	var z Counters
+	if z.AvgMemLatency() != 0 {
+		t.Fatal("no requests must not divide")
+	}
+}
+
+func TestPerMillionInstr(t *testing.T) {
+	c := Counters{Instructions: 2_000_000}
+	if got := c.PerMillionInstr(50); got != 25 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	if MissRate(5, 100) != 0.05 || MissRate(1, 0) != 0 {
+		t.Fatal("MissRate broken")
+	}
+}
+
+// Property: Add is commutative and total-preserving on a few key fields.
+func TestAddProperty(t *testing.T) {
+	f := func(a, b Counters) bool {
+		x := a
+		x.Add(&b)
+		y := b
+		y.Add(&a)
+		return x == y &&
+			x.Cycles == a.Cycles+b.Cycles &&
+			x.LockBackoffs == a.LockBackoffs+b.LockBackoffs &&
+			x.CoherenceMisses == a.CoherenceMisses+b.CoherenceMisses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

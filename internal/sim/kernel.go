@@ -1,0 +1,229 @@
+// Package sim provides the deterministic multi-process execution kernel that
+// underlies the machine simulators.
+//
+// Each simulated process runs as a goroutine, but at most one process executes
+// at a time: the kernel always resumes the process with the smallest local
+// clock and lets it run for a bounded quantum of simulated cycles before it
+// must hand control back. This "min-clock quantum" discipline gives a
+// deterministic, repeatable interleaving whose timing error is bounded by the
+// quantum, which is the standard approach for execution-driven multiprocessor
+// simulation (cf. RSIM, SimOS).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Clock counts simulated CPU cycles.
+type Clock uint64
+
+// DefaultQuantum is the default number of cycles a process may run before
+// yielding to the kernel. Smaller quanta tighten the interleaving accuracy at
+// the cost of more goroutine handoffs.
+const DefaultQuantum Clock = 20_000
+
+// ErrKilled is delivered to processes that are still running when the kernel
+// is shut down early.
+var ErrKilled = errors.New("sim: process killed")
+
+type yieldKind int
+
+const (
+	yieldQuantum yieldKind = iota // quantum expired, process wants to continue
+	yieldDone                     // process body returned
+	yieldPanic                    // process body panicked
+)
+
+type yieldMsg struct {
+	proc *Proc
+	kind yieldKind
+	err  error
+}
+
+// Proc is the kernel-side handle for one simulated process. All methods must
+// be called from the process's own goroutine (the function passed to Spawn),
+// never from outside.
+type Proc struct {
+	id     int
+	kernel *Kernel
+
+	clock      Clock
+	quantumEnd Clock
+
+	resume chan Clock // kernel -> proc: new quantum end
+	killed bool
+
+	// Hooks let higher layers observe scheduling points.
+	// OnYield is invoked (in the process goroutine) just before the process
+	// hands control back to the kernel because its quantum expired.
+	OnYield func(now Clock)
+}
+
+// ID returns the process identifier, unique within its kernel.
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the process's local clock in cycles.
+func (p *Proc) Now() Clock { return p.clock }
+
+// Advance adds cycles to the local clock and yields to the kernel if the
+// quantum has expired.
+func (p *Proc) Advance(cycles Clock) {
+	p.clock += cycles
+	if p.clock >= p.quantumEnd {
+		p.yield()
+	}
+}
+
+// AdvanceTo moves the local clock forward to at least t. It is the primitive
+// used to model waiting for an event that completes at a known simulated time.
+// Advancing backwards is a no-op.
+func (p *Proc) AdvanceTo(t Clock) {
+	if t > p.clock {
+		p.Advance(t - p.clock)
+	}
+}
+
+// Yield unconditionally hands control back to the kernel, even if quantum
+// remains. Use it before spinning on state owned by another process so the
+// other process gets a chance to run.
+func (p *Proc) Yield() { p.yield() }
+
+func (p *Proc) yield() {
+	if p.OnYield != nil {
+		p.OnYield(p.clock)
+	}
+	p.kernel.events <- yieldMsg{proc: p, kind: yieldQuantum}
+	p.block()
+}
+
+// block waits until the kernel grants a new quantum. If the kernel is shutting
+// down it panics with ErrKilled, which unwinds the process goroutine; the
+// wrapper in Spawn recovers it.
+func (p *Proc) block() {
+	end, ok := <-p.resume
+	if !ok {
+		p.killed = true
+		panic(ErrKilled)
+	}
+	p.quantumEnd = end
+}
+
+// Kernel schedules a set of simulated processes deterministically.
+type Kernel struct {
+	quantum Clock
+	procs   []*Proc
+	bodies  []func(*Proc)
+	events  chan yieldMsg
+	started bool
+}
+
+// NewKernel returns a kernel with the given scheduling quantum in cycles.
+// A quantum of 0 selects DefaultQuantum.
+func NewKernel(quantum Clock) *Kernel {
+	if quantum == 0 {
+		quantum = DefaultQuantum
+	}
+	return &Kernel{
+		quantum: quantum,
+		events:  make(chan yieldMsg),
+	}
+}
+
+// Quantum reports the scheduling quantum in cycles.
+func (k *Kernel) Quantum() Clock { return k.quantum }
+
+// Spawn registers a process whose body is fn. Processes must all be spawned
+// before Run is called. The returned Proc is handed to fn when the kernel
+// starts; callers may also keep it to inspect the final clock after Run.
+func (k *Kernel) Spawn(fn func(*Proc)) *Proc {
+	if k.started {
+		panic("sim: Spawn after Run")
+	}
+	p := &Proc{
+		id:     len(k.procs),
+		kernel: k,
+		resume: make(chan Clock),
+	}
+	k.procs = append(k.procs, p)
+	k.bodies = append(k.bodies, fn)
+	return p
+}
+
+// Run executes all spawned processes to completion and returns the first
+// process panic as an error (processes that complete normally return nil).
+// Run is deterministic: given the same spawn order and process behaviour it
+// produces the same interleaving every time.
+func (k *Kernel) Run() error {
+	if k.started {
+		return errors.New("sim: Run called twice")
+	}
+	k.started = true
+	if len(k.procs) == 0 {
+		return nil
+	}
+
+	for i, p := range k.procs {
+		go k.runBody(p, k.bodies[i])
+	}
+
+	live := make(map[int]*Proc, len(k.procs))
+	runnable := make([]*Proc, 0, len(k.procs))
+	for _, p := range k.procs {
+		live[p.id] = p
+		runnable = append(runnable, p)
+	}
+
+	var firstErr error
+	for len(live) > 0 {
+		// Pick the runnable process with the minimum clock (ties by ID).
+		sort.Slice(runnable, func(i, j int) bool {
+			if runnable[i].clock != runnable[j].clock {
+				return runnable[i].clock < runnable[j].clock
+			}
+			return runnable[i].id < runnable[j].id
+		})
+		next := runnable[0]
+		runnable = runnable[1:]
+
+		next.resume <- next.clock + k.quantum
+		msg := <-k.events
+		switch msg.kind {
+		case yieldQuantum:
+			runnable = append(runnable, msg.proc)
+		case yieldDone:
+			delete(live, msg.proc.id)
+		case yieldPanic:
+			delete(live, msg.proc.id)
+			if firstErr == nil {
+				firstErr = msg.err
+			}
+			// Kill the remaining processes: closing resume unblocks them
+			// with ErrKilled.
+			for _, p := range runnable {
+				close(p.resume)
+				<-k.events // their panic notification
+				delete(live, p.id)
+			}
+			runnable = runnable[:0]
+		}
+	}
+	return firstErr
+}
+
+func (k *Kernel) runBody(p *Proc, fn func(*Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if p.killed {
+				k.events <- yieldMsg{proc: p, kind: yieldDone}
+				return
+			}
+			k.events <- yieldMsg{proc: p, kind: yieldPanic, err: fmt.Errorf("sim: process %d panicked: %v", p.id, r)}
+			return
+		}
+		k.events <- yieldMsg{proc: p, kind: yieldDone}
+	}()
+	p.block() // wait for the first quantum grant
+	fn(p)
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary: %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI missing")
+	}
+	if s.String() == "" {
+		t.Fatal("stringer empty")
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty: %+v", z)
+	}
+	one := Summarize([]float64{5})
+	if one.Std != 0 || one.CI95() != 0 || one.Min != 5 || one.Max != 5 {
+		t.Fatalf("single: %+v", one)
+	}
+	if (Summary{Mean: 0, Std: 1}).RelStd() != 0 {
+		t.Fatal("RelStd division by zero")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Fatal("median mutated input")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if GeoMean([]float64{1, -1}) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("non-positive handling")
+	}
+}
+
+// Property: Min <= Median <= Max and Min <= Mean <= Max.
+func TestOrderingProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		med := Median(xs)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Min <= med && med <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: summarizing a constant sample gives Std 0 and Mean = the value.
+func TestConstantSampleProperty(t *testing.T) {
+	f := func(v int16, n uint8) bool {
+		count := int(n%20) + 1
+		xs := make([]float64, count)
+		for i := range xs {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Std == 0 && s.Mean == float64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

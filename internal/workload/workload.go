@@ -1,0 +1,289 @@
+// Package workload runs the paper's experimental configurations: N query
+// processes (all running the same TPC-H query) pinned to distinct CPUs of a
+// simulated machine, with hardware counters collected over the measured
+// region and query answers validated against reference implementations.
+package workload
+
+import (
+	"fmt"
+
+	"dssmem/internal/coherence"
+	"dssmem/internal/db/engine"
+	"dssmem/internal/machine"
+	"dssmem/internal/perfctr"
+	"dssmem/internal/sim"
+	"dssmem/internal/simos"
+	"dssmem/internal/tpch"
+)
+
+// Options describes one run.
+type Options struct {
+	Spec    machine.Spec
+	OS      simos.Config // zero value: simos.DefaultConfig(Spec.ClockMHz)
+	Quantum sim.Clock    // 0: sim.DefaultQuantum
+	Data    *tpch.Data
+	Query   tpch.QueryID
+	// Mix, when non-empty, runs a heterogeneous workload: process i runs
+	// Mix[i%len(Mix)] and Query is ignored. This models the reading of the
+	// paper's §4 title ("Multiple (Diff) Query Execution") in which the
+	// concurrent processes run different queries.
+	Mix       []tpch.QueryID
+	Processes int
+	// Validate compares each process's answer against the reference
+	// implementation (default on via Run; RunUnchecked skips).
+	Validate bool
+	// SpinLimit overrides the DBMS spin-before-backoff count (0 = default).
+	SpinLimit int
+	// BufHeaderBytes overrides the buffer-descriptor stride (0 = default).
+	BufHeaderBytes int
+	// OSTimeScale divides the select() back-off to match a scaled-down
+	// machine (pass the memory-scale factor; 0 = 1). Ignored when OS is set
+	// explicitly.
+	OSTimeScale int
+	// HintBitFraction forwards to the engine (0 = default, negative = off).
+	HintBitFraction float64
+	// Trial perturbs the OS jitter seed so repeated trials of one
+	// configuration differ, as the paper's four averaged trials did.
+	Trial int
+	// ColdRun starts the buffer pool empty, modeling the first of the
+	// paper's four trials: every first page touch pays a disk read and a
+	// voluntary context switch.
+	ColdRun bool
+}
+
+// ProcStats is one process's measured region.
+type ProcStats struct {
+	Query        tpch.QueryID
+	Counters     perfctr.Counters
+	ThreadCycles uint64
+	WallCycles   uint64
+	Vol, Invol   uint64
+}
+
+// Stats is the outcome of a run.
+type Stats struct {
+	MachineName string
+	ClockMHz    int
+	Query       tpch.QueryID
+	Processes   int
+	Procs       []ProcStats
+	Dir         coherence.Stats
+	Sess        SessStats
+	// Regions aggregates per-data-region access/miss tallies across all
+	// processes (the paper's record/index/metadata/private taxonomy).
+	Regions perfctr.RegionCounters
+	// DiskReads counts cold-pool device reads (0 for warm runs).
+	DiskReads uint64
+}
+
+// SessStats aggregates DBMS-level instrumentation across processes.
+type SessStats struct {
+	Pins             uint64
+	BufMgrAcquires   uint64
+	BufMgrContended  uint64
+	RelationAcquires uint64
+}
+
+// Run executes the configuration and validates the answers.
+func Run(opts Options) (*Stats, error) {
+	opts.Validate = true
+	return run(opts)
+}
+
+// RunUnchecked executes without answer validation (benchmarks).
+func RunUnchecked(opts Options) (*Stats, error) {
+	opts.Validate = false
+	return run(opts)
+}
+
+func run(opts Options) (*Stats, error) {
+	if opts.Processes <= 0 {
+		return nil, fmt.Errorf("workload: need at least one process")
+	}
+	if opts.Processes > opts.Spec.CPUs {
+		return nil, fmt.Errorf("workload: %d processes exceed %d CPUs", opts.Processes, opts.Spec.CPUs)
+	}
+	if opts.Data == nil {
+		return nil, fmt.Errorf("workload: no data")
+	}
+
+	ioLatency := uint64(0)
+	if opts.ColdRun {
+		scale := opts.OSTimeScale
+		if scale < 1 {
+			scale = 1
+		}
+		// 8 ms at the machine's clock, divided by the preset's time scale
+		// like the select() back-off.
+		ioLatency = uint64(opts.Spec.ClockMHz) * 8000 / uint64(scale)
+		if ioLatency < 2000 {
+			ioLatency = 2000
+		}
+	}
+	db := engine.Open(engine.Config{
+		PoolPages:       tpch.PoolPagesFor(opts.Data),
+		SpinLimit:       opts.SpinLimit,
+		BufHeaderBytes:  opts.BufHeaderBytes,
+		HintBitFraction: opts.HintBitFraction,
+		ColdPool:        opts.ColdRun,
+		IOLatency:       ioLatency,
+	})
+	tpch.Load(db, opts.Data)
+
+	spec := opts.Spec
+	spec.SharedLimit = db.SharedBytes // dense directory covers all shared data
+	m := machine.New(spec)
+
+	osCfg := opts.OS
+	if osCfg == (simos.Config{}) {
+		osCfg = simos.DefaultConfigScaled(spec.ClockMHz, opts.OSTimeScale)
+	}
+	osCfg.Seed += uint64(opts.Trial)
+	osys := simos.New(m, osCfg, opts.Quantum)
+
+	queryOf := func(i int) tpch.QueryID {
+		if len(opts.Mix) > 0 {
+			return opts.Mix[i%len(opts.Mix)]
+		}
+		return opts.Query
+	}
+	results := make([]*tpch.Result, opts.Processes)
+	sessions := make([]*engine.Session, opts.Processes)
+	for i := 0; i < opts.Processes; i++ {
+		i := i
+		osys.Spawn(i, func(p *simos.Process) {
+			p.Classifier = db.Classify
+			sess := db.NewSession(p, i)
+			sessions[i] = sess
+			results[i] = tpch.Run(queryOf(i), sess)
+		})
+	}
+
+	m.ResetCounters() // measured region starts now (caches cold, pool warm)
+	if err := osys.Run(); err != nil {
+		return nil, err
+	}
+
+	if opts.Validate {
+		wants := map[tpch.QueryID]uint64{}
+		for i, r := range results {
+			q := queryOf(i)
+			want, ok := wants[q]
+			if !ok {
+				want = tpch.Ref(q, opts.Data).Digest()
+				wants[q] = want
+			}
+			if r == nil || r.Digest() != want {
+				return nil, fmt.Errorf("workload: process %d returned a wrong %v answer", i, q)
+			}
+		}
+	}
+
+	st := &Stats{
+		DiskReads:   db.DiskReads,
+		MachineName: spec.Name,
+		ClockMHz:    spec.ClockMHz,
+		Query:       opts.Query,
+		Processes:   opts.Processes,
+		Dir:         m.Directory().Stats,
+		Sess: SessStats{
+			BufMgrAcquires:   db.BufMgrLock.Acquires,
+			BufMgrContended:  db.BufMgrLock.Contended,
+			RelationAcquires: db.LockMgr.RelationAcquires,
+		},
+	}
+	for _, sess := range sessions {
+		if sess != nil {
+			st.Sess.Pins += sess.Pins
+		}
+	}
+	for _, p := range osys.Processes() {
+		st.Regions.Add(&p.Regions)
+	}
+	for i, p := range osys.Processes() {
+		st.Procs = append(st.Procs, ProcStats{
+			Query:        queryOf(i),
+			Counters:     *m.Counters(i),
+			ThreadCycles: p.ThreadCycles(),
+			WallCycles:   p.Now(),
+			Vol:          p.VoluntarySwitches(),
+			Invol:        p.InvoluntarySwitches(),
+		})
+	}
+	return st, nil
+}
+
+// RunTrials repeats a configuration n times with perturbed OS jitter and
+// returns every trial's stats, mirroring the paper's methodology ("we
+// perform the same test four times and use the average values").
+func RunTrials(opts Options, n int) ([]*Stats, error) {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*Stats, n)
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Trial = opts.Trial + i
+		st, err := Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", i, err)
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// MeanCounters averages the per-process counter files (the paper reports one
+// bar per configuration).
+func (s *Stats) MeanCounters() perfctr.Counters {
+	var sum perfctr.Counters
+	for i := range s.Procs {
+		sum.Add(&s.Procs[i].Counters)
+	}
+	return scaleCounters(sum, len(s.Procs))
+}
+
+func scaleCounters(c perfctr.Counters, n int) perfctr.Counters {
+	if n <= 1 {
+		return c
+	}
+	d := uint64(n)
+	c.Cycles /= d
+	c.Instructions /= d
+	c.Loads /= d
+	c.Stores /= d
+	c.L1DMisses /= d
+	c.L2DMisses /= d
+	c.Upgrades /= d
+	c.ColdMisses /= d
+	c.CapacityMisses /= d
+	c.CoherenceMisses /= d
+	c.MemRequests /= d
+	c.MemLatencyCycles /= d
+	c.StallCycles /= d
+	c.Dirty3HopMisses /= d
+	c.VolCtxSwitches /= d
+	c.InvolCtxSwitches /= d
+	c.LockAcquires /= d
+	c.SpinIterations /= d
+	c.LockBackoffs /= d
+	return c
+}
+
+// MeanThreadCycles averages thread time across processes.
+func (s *Stats) MeanThreadCycles() float64 {
+	var sum uint64
+	for _, p := range s.Procs {
+		sum += p.ThreadCycles
+	}
+	return float64(sum) / float64(len(s.Procs))
+}
+
+// MeanWallSeconds averages wall time and converts to seconds.
+func (s *Stats) MeanWallSeconds() float64 {
+	var sum uint64
+	for _, p := range s.Procs {
+		sum += p.WallCycles
+	}
+	return float64(sum) / float64(len(s.Procs)) / (float64(s.ClockMHz) * 1e6)
+}

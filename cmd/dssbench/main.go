@@ -3,19 +3,33 @@
 // Usage:
 //
 //	dssbench [-preset tiny|small|medium] [-fig N|all] [-ablation name|all|none]
+//	dssbench [-sample N] [-events trace.json] [-by-operator] [-query Q] [-machine M] [-procs N]
 //
 // Examples:
 //
 //	dssbench -fig all                 # every figure at the default preset
 //	dssbench -preset small -fig 9     # just the memory-latency figure
 //	dssbench -ablation migratory      # one ablation
+//	dssbench -sample 2000000 -query Q6 -machine origin -procs 4
+//	                                  # time-resolved telemetry of one run
+//	dssbench -events trace.json -by-operator -query Q21
+//	                                  # Perfetto trace + operator attribution
+//
+// Any of -sample / -events / -by-operator switches dssbench into observed-run
+// mode: instead of regenerating figures it executes one configuration
+// (-query/-machine/-procs) at the preset's scale with the observability layer
+// attached, then prints sparkline time series and the operator table and
+// writes the requested export files. -fig defaults to 'none' in this mode
+// unless given explicitly.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"dssmem"
@@ -28,7 +42,27 @@ func main() {
 	format := flag.String("format", "table", "output format: table, csv or json")
 	chart := flag.Bool("chart", false, "append terminal sparklines for sweep figures")
 	list := flag.Bool("list", false, "list available figures and ablations")
+	sample := flag.Uint64("sample", 0, "observed run: sample counters every N simulated cycles")
+	sampleOut := flag.String("sample-out", "", "observed run: write sampled windows to this file (.json = JSON, else CSV)")
+	events := flag.String("events", "", "observed run: write a Chrome trace-event JSON file (open in Perfetto)")
+	byOperator := flag.Bool("by-operator", false, "observed run: attribute counters to query-plan operators")
+	query := flag.String("query", "Q6", "observed run: query (Q6, Q21, Q12)")
+	mach := flag.String("machine", "vclass", "observed run: machine (vclass or origin)")
+	procs := flag.Int("procs", 4, "observed run: number of parallel query processes")
 	flag.Parse()
+
+	observed := *sample > 0 || *events != "" || *byOperator
+	if observed {
+		figSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "fig" {
+				figSet = true
+			}
+		})
+		if !figSet {
+			*fig = "none"
+		}
+	}
 
 	if *list {
 		fmt.Println("figures: ", dssmem.FigureIDs())
@@ -46,6 +80,13 @@ func main() {
 		fmt.Printf("preset %s: SF=%.4f memScale=%d — %d lineitems, %d orders (%.1f MB raw)\n\n",
 			p.Name, p.SF, p.MemScale, len(env.Data.Lineitem), len(env.Data.Orders),
 			float64(env.Data.RawBytes())/1e6)
+	}
+
+	if observed {
+		if err := observedRun(env.Data, p, *query, *mach, *procs,
+			*sample, *sampleOut, *events, *byOperator); err != nil {
+			fatal(err)
+		}
 	}
 
 	var figs []int
@@ -103,6 +144,84 @@ func main() {
 	if *format == "table" {
 		fmt.Printf("total: %s\n", time.Since(start).Truncate(time.Millisecond))
 	}
+}
+
+// observedRun executes one configuration with the observability layer
+// attached and emits its telemetry.
+func observedRun(data *dssmem.Data, p dssmem.Preset, query, mach string, procs int,
+	sample uint64, sampleOut, events string, byOperator bool) error {
+	var q dssmem.QueryID
+	switch strings.ToUpper(query) {
+	case "Q6":
+		q = dssmem.Q6
+	case "Q21":
+		q = dssmem.Q21
+	case "Q12":
+		q = dssmem.Q12
+	case "Q1":
+		q = dssmem.Q1
+	default:
+		return fmt.Errorf("unknown query %q", query)
+	}
+	var spec dssmem.MachineSpec
+	switch strings.ToLower(mach) {
+	case "vclass", "hpv", "v-class":
+		spec = dssmem.VClass(16, p.MemScale)
+	case "origin", "sgi", "origin2000":
+		spec = dssmem.Origin(32, p.MemScale)
+	default:
+		return fmt.Errorf("unknown machine %q", mach)
+	}
+
+	ob := dssmem.NewObserver(dssmem.ObsConfig{
+		SampleInterval: sample,
+		Events:         events != "",
+		ByOperator:     byOperator,
+	})
+	st, err := dssmem.Run(dssmem.RunOptions{
+		Spec: spec, Data: data, Query: q, Processes: procs,
+		OSTimeScale: p.MemScale, Obs: ob,
+	})
+	if err != nil {
+		return err
+	}
+	m := dssmem.Measure(st)
+	fmt.Printf("observed run: %s on %s, %d process(es) — CPI %.3f, mem latency %.1f cycles\n\n",
+		q, spec.Name, procs, m.CPI, m.MemLatencyCycles)
+	if err := ob.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	if sampleOut != "" {
+		if err := emitFile(sampleOut, func(w io.Writer) error {
+			if strings.HasSuffix(sampleOut, ".json") {
+				return ob.WriteSamplesJSON(w)
+			}
+			return ob.WriteSamplesCSV(w)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("samples written to %s\n", sampleOut)
+	}
+	if events != "" {
+		if err := emitFile(events, ob.WriteTrace); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (open in Perfetto or chrome://tracing)\n", events)
+	}
+	return nil
+}
+
+// emitFile creates path, runs emit on it and surfaces close errors.
+func emitFile(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -5,11 +5,19 @@
 // Usage:
 //
 //	qrun [-query Q6|Q21|Q12] [-machine vclass|origin] [-procs N] [-sf 0.004] [-memscale 64]
+//	     [-sample N] [-sample-out f.csv|f.json] [-events trace.json] [-by-operator]
+//
+// The telemetry flags attach the observability layer: -sample N snapshots
+// each CPU's counters every N simulated cycles (sparklines on stdout,
+// optionally exported with -sample-out), -events writes a Chrome
+// trace-event JSON openable in Perfetto or chrome://tracing, and
+// -by-operator attributes counters to query-plan operators.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,6 +31,10 @@ func main() {
 	sf := flag.Float64("sf", 0.004, "TPC-H scale factor")
 	memScale := flag.Int("memscale", 64, "cache capacity divisor (see DESIGN.md §4)")
 	seed := flag.Uint64("seed", 7, "data generator seed")
+	sample := flag.Uint64("sample", 0, "sample counters every N simulated cycles (0 = off)")
+	sampleOut := flag.String("sample-out", "", "write sampled windows to this file (.json = JSON, else CSV)")
+	events := flag.String("events", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+	byOperator := flag.Bool("by-operator", false, "attribute counters to query-plan operators")
 	flag.Parse()
 
 	var q dssmem.QueryID
@@ -46,10 +58,20 @@ func main() {
 		fatal(fmt.Errorf("unknown machine %q", *mach))
 	}
 
+	var ob *dssmem.Observer
+	if *sample > 0 || *events != "" || *byOperator {
+		ob = dssmem.NewObserver(dssmem.ObsConfig{
+			SampleInterval: *sample,
+			Events:         *events != "",
+			ByOperator:     *byOperator,
+		})
+	}
+
 	data := dssmem.GenerateData(*sf, *seed)
 	ans := dssmem.ReferenceAnswer(q, data)
 	st, err := dssmem.Run(dssmem.RunOptions{
 		Spec: spec, Data: data, Query: q, Processes: *procs, OSTimeScale: *memScale,
+		Obs: ob,
 	})
 	if err != nil {
 		fatal(err)
@@ -71,6 +93,43 @@ func main() {
 		100*m.ColdFraction, 100*m.CapacityFraction, 100*m.CoherenceFraction)
 	fmt.Printf("mem latency     %.1f cycles (%.3f us)\n", m.MemLatencyCycles, m.MemLatencyMicros)
 	fmt.Printf("ctx switches    %.2f voluntary, %.2f involuntary per 1M instr\n", m.VolPerM, m.InvolPerM)
+
+	if ob != nil {
+		fmt.Printf("\n-- telemetry --\n")
+		if err := ob.WriteSummary(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *sampleOut != "" {
+			if err := writeFile(*sampleOut, func(w io.Writer) error {
+				if strings.HasSuffix(*sampleOut, ".json") {
+					return ob.WriteSamplesJSON(w)
+				}
+				return ob.WriteSamplesCSV(w)
+			}); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("samples written to %s\n", *sampleOut)
+		}
+		if *events != "" {
+			if err := writeFile(*events, ob.WriteTrace); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace written to %s (open in Perfetto or chrome://tracing)\n", *events)
+		}
+	}
+}
+
+// writeFile creates path, runs emit on it and surfaces close errors.
+func writeFile(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printAnswer(r *dssmem.QueryResult) {

@@ -31,6 +31,7 @@ import (
 	"dssmem/internal/core"
 	"dssmem/internal/experiments"
 	"dssmem/internal/machine"
+	"dssmem/internal/obs"
 	"dssmem/internal/tpch"
 	"dssmem/internal/workload"
 )
@@ -59,6 +60,17 @@ type (
 	Env = experiments.Env
 	// FigureResult is one regenerated figure or ablation.
 	FigureResult = experiments.Result
+	// ObsConfig selects the observability pillars of an Observer.
+	ObsConfig = obs.Config
+	// Observer collects interval counter samples, the protocol event trace
+	// and per-operator attribution for one run (RunOptions.Obs).
+	Observer = obs.Observer
+	// ObsSample is one closed counter-sampling window.
+	ObsSample = obs.Sample
+	// ObsEvent is one timestamped trace event.
+	ObsEvent = obs.Event
+	// OpStats aggregates one query-plan operator's attribution.
+	OpStats = obs.OpStats
 )
 
 // The three queries the paper studies, plus the Q1 extension.
@@ -134,3 +146,10 @@ func FigureIDs() []int { return experiments.FigureIDs() }
 
 // AblationNames lists the available ablations.
 func AblationNames() []string { return experiments.AblationNames() }
+
+// NewObserver creates an observability collector. Attach it to a run via
+// RunOptions.Obs; after the run, export with the Observer's WriteTrace
+// (Chrome trace-event JSON for Perfetto), WriteSamplesCSV/WriteSamplesJSON
+// (per-window counter time series), WriteOpsTable (per-operator
+// attribution) and WriteSummary (terminal sparklines) methods.
+func NewObserver(cfg ObsConfig) *Observer { return obs.New(cfg) }

@@ -137,6 +137,20 @@ type PerCache struct {
 	TotalLatency uint64
 }
 
+// Hooks observe individual protocol transactions as they happen (the obs
+// layer's structured event trace). Nil fields cost one nil check per
+// transaction; set them before the run starts — the simulation kernel
+// serializes all protocol activity, so hooks need no locking.
+type Hooks struct {
+	// Request fires once per Read/Write/Upgrade with the final Result.
+	// upgrade implies write. An Upgrade that races with an invalidation and
+	// falls back to a full write miss reports as a write.
+	Request func(c CacheID, write, upgrade bool, line, now uint64, r Result)
+	// Invalidate fires once per remote copy killed by coherence activity,
+	// attributed to the requester whose transaction caused it.
+	Invalidate func(requester, target CacheID, line, now uint64)
+}
+
 // Directory is the protocol engine. One instance serves one machine. Not safe
 // for concurrent use; the simulation kernel serializes accesses.
 type Directory struct {
@@ -152,6 +166,7 @@ type Directory struct {
 	sparse  map[uint64]*entry
 	Stats   Stats
 	ByCache []PerCache
+	Hooks   Hooks
 }
 
 // Config assembles a Directory.
@@ -329,6 +344,9 @@ func (d *Directory) Read(c CacheID, line uint64, now uint64) Result {
 			// line with ownership.
 			lat += threeHop
 			d.caches[o].Invalidate(line)
+			if d.Hooks.Invalidate != nil {
+				d.Hooks.Invalidate(c, o, line, now)
+			}
 			e.inval |= uint64(1) << uint(o)
 			e.owner = int16(c)
 			e.ownerMod = true
@@ -374,6 +392,9 @@ func (d *Directory) Read(c CacheID, line uint64, now uint64) Result {
 
 	res.Latency = lat
 	d.finish(c, lat)
+	if d.Hooks.Request != nil {
+		d.Hooks.Request(c, false, false, line, now, res)
+	}
 	return res
 }
 
@@ -403,7 +424,7 @@ func (d *Directory) Write(c CacheID, line uint64, now uint64) Result {
 	case dirShared:
 		lat += d.params.MemAccess + d.params.InvalLatency + d.net.Latency(home, rnode)
 		d.Stats.CleanMisses++
-		d.invalidateSharers(e, line, c)
+		d.invalidateSharers(e, line, c, now)
 		e.migratory = true // write following shared reads: hand-off pattern
 
 	case dirOwned:
@@ -417,6 +438,9 @@ func (d *Directory) Write(c CacheID, line uint64, now uint64) Result {
 			} else {
 				lat += d.net.Latency(home, onode) + d.params.CacheExtract + d.net.Latency(onode, rnode)
 				d.caches[o].Invalidate(line)
+				if d.Hooks.Invalidate != nil {
+					d.Hooks.Invalidate(c, o, line, now)
+				}
 				e.inval |= uint64(1) << uint(o)
 				d.Stats.InvalidationsSent++
 				if ownerState == cache.Modified {
@@ -438,6 +462,9 @@ func (d *Directory) Write(c CacheID, line uint64, now uint64) Result {
 
 	res.Latency = lat
 	d.finish(c, lat)
+	if d.Hooks.Request != nil {
+		d.Hooks.Request(c, true, false, line, now, res)
+	}
 	return res
 }
 
@@ -462,7 +489,7 @@ func (d *Directory) Upgrade(c CacheID, line uint64, now uint64) Result {
 		lat += d.params.InvalLatency
 	}
 	lat += d.net.Latency(home, rnode) // ack
-	d.invalidateSharers(e, line, c)
+	d.invalidateSharers(e, line, c, now)
 	e.migratory = true // read-then-write observed: migratory candidate
 	e.state = dirOwned
 	e.owner = int16(c)
@@ -471,14 +498,20 @@ func (d *Directory) Upgrade(c CacheID, line uint64, now uint64) Result {
 
 	res := Result{Latency: lat, Grant: cache.Modified, Class: Capacity}
 	d.finish(c, lat)
+	if d.Hooks.Request != nil {
+		d.Hooks.Request(c, true, true, line, now, res)
+	}
 	return res
 }
 
-func (d *Directory) invalidateSharers(e *entry, line uint64, except CacheID) {
+func (d *Directory) invalidateSharers(e *entry, line uint64, except CacheID, now uint64) {
 	for i := range d.caches {
 		bit := uint64(1) << uint(i)
 		if e.sharers&bit != 0 && CacheID(i) != except {
 			d.caches[i].Invalidate(line)
+			if d.Hooks.Invalidate != nil {
+				d.Hooks.Invalidate(except, CacheID(i), line, now)
+			}
 			e.inval |= bit
 			d.Stats.InvalidationsSent++
 		}

@@ -14,6 +14,7 @@ import (
 	"dssmem/internal/db/engine"
 	"dssmem/internal/db/storage"
 	"dssmem/internal/memsys"
+	"dssmem/internal/obs"
 )
 
 // Per-tuple instruction costs. The era's PostgreSQL spent hundreds of
@@ -87,6 +88,7 @@ func (c *Context) AllocPrivate(size uint64) memsys.Addr {
 // Setup charges query start-up: parser/planner/executor-init instructions and
 // the catalog probes for each referenced relation.
 func (c *Context) Setup(rels ...*catalog.Relation) {
+	defer obs.Span(c.S.P, "setup")()
 	c.S.P.Work(CostQuerySetup)
 	for range rels {
 		c.S.P.Work(120) // plan nodes, snapshot, relcache touches
@@ -131,6 +133,7 @@ func (ps *pinSet) releaseAll() {
 // page-at-a-time, so the record data streams through the cache with spatial
 // but no temporal locality — the paper's sequential-query profile.
 func SeqScan(ctx *Context, rel *catalog.Relation, cols []int, fn func(tid storage.TID, vals []int64) bool) {
+	defer obs.Span(ctx.S.P, "scan:"+rel.Name)()
 	s := ctx.S
 	h := rel.Heap
 	m := s.Mem()
@@ -161,6 +164,7 @@ func SeqScan(ctx *Context, rel *catalog.Relation, cols []int, fn func(tid storag
 // through the scan (upper nodes stay pinned and cached — the paper's "nodes
 // close to the root ... are likely to be reused").
 func IndexRange(ctx *Context, rel *catalog.Relation, index string, lo, hi int64, fn func(key int64, tid storage.TID) bool) {
+	defer obs.Span(ctx.S.P, "ixscan:"+rel.Name+"."+index)()
 	s := ctx.S
 	ix := rel.Index(index)
 	ps := newPinSet(s)
@@ -295,6 +299,7 @@ type KV struct {
 // TopN charges and performs the final sort of a grouped result, returning at
 // most n entries ordered by Val desc, Key asc.
 func TopN(ctx *Context, items []KV, n int) []KV {
+	defer obs.Span(ctx.S.P, "sort:topN")()
 	count := len(items)
 	if count > 1 {
 		// n log n comparisons, each touching private sort state.

@@ -27,6 +27,20 @@ type Proc interface {
 	Now() uint64
 }
 
+// Eventer is an optional extension of Proc: implementations that also carry
+// lock-level telemetry (e.g. *simos.Process, which counts acquisitions in
+// the CPU's counter file and feeds the obs event trace) receive one
+// callback per successful spinlock acquisition.
+type Eventer interface {
+	LockAcquired(addr memsys.Addr, contended bool)
+}
+
+func notifyAcquired(p Proc, addr memsys.Addr, contended bool) {
+	if e, ok := p.(Eventer); ok {
+		e.LockAcquired(addr, contended)
+	}
+}
+
 // DefaultSpinLimit is how many busy-wait iterations a process tries before
 // backing off with select(). The era's s_lock gave up quickly — "if a query
 // process cannot get a spinlock, the process would delay some time, using the
@@ -108,6 +122,7 @@ func (l *SpinLock) TryAcquire(p Proc, pid int) bool {
 func (l *SpinLock) Acquire(p Proc, pid int) {
 	l.Acquires++
 	if l.TryAcquire(p, pid) {
+		notifyAcquired(p, l.addr, false)
 		return
 	}
 	l.Contended++
@@ -122,6 +137,7 @@ func (l *SpinLock) Acquire(p Proc, pid int) {
 			p.Spin()
 		}
 		if l.TryAcquire(p, pid) {
+			notifyAcquired(p, l.addr, true)
 			return
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"dssmem/internal/cache"
 	"dssmem/internal/coherence"
 	"dssmem/internal/memsys"
+	"dssmem/internal/obs"
 	"dssmem/internal/perfctr"
 )
 
@@ -65,6 +66,30 @@ func New(spec Spec) *Machine {
 
 // Spec returns the machine description.
 func (m *Machine) Spec() Spec { return m.spec }
+
+// Observe attaches an observer to the machine's protocol engine: every
+// directory transaction becomes a memory-request span and every coherence
+// invalidation an instant event on the requesting CPU's track (CacheID and
+// CPU index coincide by construction). A nil observer detaches the hooks.
+func (m *Machine) Observe(o *obs.Observer) {
+	if o == nil || !o.Config().Events {
+		m.dir.Hooks = coherence.Hooks{}
+		return
+	}
+	m.dir.Hooks.Request = func(c coherence.CacheID, write, upgrade bool, line, now uint64, r coherence.Result) {
+		kind := "read"
+		switch {
+		case upgrade:
+			kind = "upgrade"
+		case write:
+			kind = "write"
+		}
+		o.MemRequest(int(c), kind, line, now, r.Latency, r.Class.String(), r.Dirty3Hop)
+	}
+	m.dir.Hooks.Invalidate = func(req, target coherence.CacheID, line, now uint64) {
+		o.Invalidation(int(req), int(target), line, now)
+	}
+}
 
 // Directory exposes the coherence engine (for global stats and tests).
 func (m *Machine) Directory() *coherence.Directory { return m.dir }

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"dssmem/internal/perfctr"
+	"dssmem/internal/viz"
+)
+
+// WriteSummary renders the observer's collected data for a terminal: the
+// per-CPU sampled time series as sparklines (CPI, L1 miss rate, average
+// memory latency per window), the per-operator attribution table, and the
+// event-buffer accounting. Sections whose pillar was disabled are omitted.
+func (o *Observer) WriteSummary(w io.Writer) error {
+	if o == nil {
+		return fmt.Errorf("obs: no observer")
+	}
+	if o.cfg.SampleInterval > 0 && len(o.samples) > 0 {
+		metrics := []struct {
+			name string
+			fn   func(*Sample) float64
+		}{
+			{"CPI", func(s *Sample) float64 { return s.C.CPI() }},
+			{"L1 miss rate", func(s *Sample) float64 {
+				return perfctr.MissRate(s.C.L1DMisses, s.C.Loads+s.C.Stores)
+			}},
+			{"mem latency", func(s *Sample) float64 { return s.C.AvgMemLatency() }},
+		}
+		for _, m := range metrics {
+			var labels []string
+			var series [][]float64
+			for cpu := 0; cpu < o.cpus; cpu++ {
+				if s := o.SampleSeries(cpu, m.fn); len(s) > 0 {
+					labels = append(labels, fmt.Sprintf("cpu%d", cpu))
+					series = append(series, s)
+				}
+			}
+			if len(series) == 0 {
+				continue
+			}
+			title := fmt.Sprintf("%s per %d-cycle window", m.name, o.cfg.SampleInterval)
+			if err := viz.Lines(w, title, labels, series); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	if o.cfg.ByOperator {
+		if err := o.WriteOpsTable(w); err != nil {
+			return err
+		}
+	}
+	if o.cfg.Events {
+		if _, err := fmt.Fprintf(w, "events: %d buffered, %d dropped\n",
+			len(o.events), o.dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}

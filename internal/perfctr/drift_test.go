@@ -1,0 +1,100 @@
+package perfctr
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fillDistinct sets field i of c to base*(i+1), so every field carries a
+// unique nonzero value and a swap or omission is detectable.
+func fillDistinct(c *Counters, base uint64) {
+	v := reflect.ValueOf(c).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(base * uint64(i+1))
+	}
+}
+
+// TestAddCoversEveryField guards against counter drift: when a new field is
+// added to Counters but forgotten in Add, this test fails without needing a
+// hand-maintained field list.
+func TestAddCoversEveryField(t *testing.T) {
+	var c, o Counters
+	fillDistinct(&o, 1)
+	c.Add(&o)
+	c.Add(&o)
+	v := reflect.ValueOf(c)
+	for i := 0; i < v.NumField(); i++ {
+		want := 2 * uint64(i+1)
+		if got := v.Field(i).Uint(); got != want {
+			t.Errorf("Add dropped or misrouted field %s: got %d, want %d",
+				v.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestSubCoversEveryField checks Sub is the exact inverse of Add field-wise.
+func TestSubCoversEveryField(t *testing.T) {
+	var a, b Counters
+	fillDistinct(&a, 3)
+	fillDistinct(&b, 1)
+	d := a.Sub(&b)
+	v := reflect.ValueOf(d)
+	for i := 0; i < v.NumField(); i++ {
+		want := 2 * uint64(i+1) // 3(i+1) - 1(i+1)
+		if got := v.Field(i).Uint(); got != want {
+			t.Errorf("Sub dropped or misrouted field %s: got %d, want %d",
+				v.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestScaleCoversEveryField checks Scale divides every field.
+func TestScaleCoversEveryField(t *testing.T) {
+	var c Counters
+	fillDistinct(&c, 4)
+	c.Scale(2)
+	v := reflect.ValueOf(c)
+	for i := 0; i < v.NumField(); i++ {
+		want := 2 * uint64(i+1)
+		if got := v.Field(i).Uint(); got != want {
+			t.Errorf("Scale missed field %s: got %d, want %d",
+				v.Type().Field(i).Name, got, want)
+		}
+	}
+
+	before := c
+	c.Scale(1)
+	if c != before {
+		t.Errorf("Scale(1) must be a no-op")
+	}
+}
+
+// TestRegionAddCoversEveryField applies the same drift guard to the
+// per-region tallies (fields are fixed-size arrays).
+func TestRegionAddCoversEveryField(t *testing.T) {
+	var r, o RegionCounters
+	ov := reflect.ValueOf(&o).Elem()
+	next := uint64(1)
+	for i := 0; i < ov.NumField(); i++ {
+		arr := ov.Field(i)
+		for j := 0; j < arr.Len(); j++ {
+			arr.Index(j).SetUint(next)
+			next++
+		}
+	}
+	r.Add(&o)
+	r.Add(&o)
+	rv := reflect.ValueOf(r)
+	next = 1
+	for i := 0; i < rv.NumField(); i++ {
+		arr := rv.Field(i)
+		for j := 0; j < arr.Len(); j++ {
+			want := 2 * next
+			if got := arr.Index(j).Uint(); got != want {
+				t.Errorf("RegionCounters.Add dropped %s[%d]: got %d, want %d",
+					rv.Type().Field(i).Name, j, got, want)
+			}
+			next++
+		}
+	}
+}

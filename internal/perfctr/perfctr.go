@@ -63,6 +63,61 @@ func (c *Counters) Add(o *Counters) {
 	c.LockBackoffs += o.LockBackoffs
 }
 
+// Sub returns the field-wise difference c - o: the counter deltas between
+// two snapshots of one monotonically growing counter file (the basis of the
+// obs layer's interval samples and operator attributions).
+func (c *Counters) Sub(o *Counters) Counters {
+	return Counters{
+		Cycles:           c.Cycles - o.Cycles,
+		Instructions:     c.Instructions - o.Instructions,
+		Loads:            c.Loads - o.Loads,
+		Stores:           c.Stores - o.Stores,
+		L1DMisses:        c.L1DMisses - o.L1DMisses,
+		L2DMisses:        c.L2DMisses - o.L2DMisses,
+		Upgrades:         c.Upgrades - o.Upgrades,
+		ColdMisses:       c.ColdMisses - o.ColdMisses,
+		CapacityMisses:   c.CapacityMisses - o.CapacityMisses,
+		CoherenceMisses:  c.CoherenceMisses - o.CoherenceMisses,
+		MemRequests:      c.MemRequests - o.MemRequests,
+		MemLatencyCycles: c.MemLatencyCycles - o.MemLatencyCycles,
+		StallCycles:      c.StallCycles - o.StallCycles,
+		Dirty3HopMisses:  c.Dirty3HopMisses - o.Dirty3HopMisses,
+		VolCtxSwitches:   c.VolCtxSwitches - o.VolCtxSwitches,
+		InvolCtxSwitches: c.InvolCtxSwitches - o.InvolCtxSwitches,
+		LockAcquires:     c.LockAcquires - o.LockAcquires,
+		SpinIterations:   c.SpinIterations - o.SpinIterations,
+		LockBackoffs:     c.LockBackoffs - o.LockBackoffs,
+	}
+}
+
+// Scale divides every counter by n (no-op for n <= 1) — the per-process
+// averaging the paper applies when it reports one bar per configuration.
+func (c *Counters) Scale(n int) {
+	if n <= 1 {
+		return
+	}
+	d := uint64(n)
+	c.Cycles /= d
+	c.Instructions /= d
+	c.Loads /= d
+	c.Stores /= d
+	c.L1DMisses /= d
+	c.L2DMisses /= d
+	c.Upgrades /= d
+	c.ColdMisses /= d
+	c.CapacityMisses /= d
+	c.CoherenceMisses /= d
+	c.MemRequests /= d
+	c.MemLatencyCycles /= d
+	c.StallCycles /= d
+	c.Dirty3HopMisses /= d
+	c.VolCtxSwitches /= d
+	c.InvolCtxSwitches /= d
+	c.LockAcquires /= d
+	c.SpinIterations /= d
+	c.LockBackoffs /= d
+}
+
 // CPI returns cycles per instruction (0 when no instructions retired).
 func (c *Counters) CPI() float64 {
 	if c.Instructions == 0 {

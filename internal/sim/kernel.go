@@ -59,6 +59,10 @@ type Proc struct {
 	// OnYield is invoked (in the process goroutine) just before the process
 	// hands control back to the kernel because its quantum expired.
 	OnYield func(now Clock)
+	// OnExit is invoked (in the process goroutine) after the process body
+	// returns normally, with the final clock — the last scheduling point of
+	// the process's life. It is not called for killed or panicking processes.
+	OnExit func(now Clock)
 }
 
 // ID returns the process identifier, unique within its kernel.
@@ -226,4 +230,7 @@ func (k *Kernel) runBody(p *Proc, fn func(*Proc)) {
 	}()
 	p.block() // wait for the first quantum grant
 	fn(p)
+	if p.OnExit != nil {
+		p.OnExit(p.clock)
+	}
 }

@@ -15,6 +15,7 @@ package simos
 import (
 	"dssmem/internal/machine"
 	"dssmem/internal/memsys"
+	"dssmem/internal/obs"
 	"dssmem/internal/perfctr"
 	"dssmem/internal/sim"
 )
@@ -75,6 +76,7 @@ type OS struct {
 	mach   *machine.Machine
 	kernel *sim.Kernel
 	procs  []*Process
+	obs    *obs.Observer
 }
 
 // New builds an OS over a machine. quantum is the simulation-kernel
@@ -89,6 +91,11 @@ func (o *OS) Machine() *machine.Machine { return o.mach }
 // Config returns the OS parameters.
 func (o *OS) Config() Config { return o.cfg }
 
+// Observe attaches an observer: counter sampling at kernel scheduling
+// points, plus context-switch, back-off and lock events. Call before Run
+// (Spawn order does not matter — the hooks bind when processes start).
+func (o *OS) Observe(ob *obs.Observer) { o.obs = ob }
+
 // Spawn registers a process pinned to the given CPU. Bodies run when Run is
 // called. By convention the workload pins process i to CPU i, matching the
 // paper's "different query processes are assigned to different processors".
@@ -101,6 +108,10 @@ func (o *OS) Spawn(cpu int, body func(*Process)) *Process {
 	}
 	p.sp = o.kernel.Spawn(func(sp *sim.Proc) {
 		p.sp = sp
+		if ob := o.obs; ob != nil {
+			sp.OnYield = func(now sim.Clock) { ob.Tick(p.CPU, uint64(now), p.Counters()) }
+			sp.OnExit = func(now sim.Clock) { ob.ProcExit(p.CPU, uint64(now), p.Counters()) }
+		}
 		body(p)
 	})
 	o.procs = append(o.procs, p)
@@ -163,6 +174,7 @@ func (p *Process) onCPU(cycles uint64) {
 func (p *Process) involuntarySwitch() {
 	p.invol++
 	p.Counters().InvolCtxSwitches++
+	p.os.obs.CtxSwitch(p.CPU, p.Now(), false)
 	p.chargeSwitch()
 	p.sliceLeft = p.os.cfg.TimeSlice
 }
@@ -228,12 +240,14 @@ func (p *Process) Backoff() {
 	ct := p.Counters()
 	ct.VolCtxSwitches++
 	ct.LockBackoffs++
+	p.os.obs.CtxSwitch(p.CPU, p.Now(), true)
 	p.chargeSwitch()
 	// Deterministic per-process jitter (xorshift) of up to 25% of the base.
 	p.rng ^= p.rng << 13
 	p.rng ^= p.rng >> 7
 	p.rng ^= p.rng << 17
 	sleep := p.os.cfg.Backoff + p.rng%(p.os.cfg.Backoff/4+1)
+	p.os.obs.Backoff(p.CPU, p.Now(), sleep)
 	p.sp.Advance(sim.Clock(sleep)) // off CPU: wall time only
 }
 
@@ -250,8 +264,28 @@ func (p *Process) BlockUntil(t uint64) {
 func (p *Process) IOWait(cycles uint64) {
 	p.vol++
 	p.Counters().VolCtxSwitches++
+	p.os.obs.CtxSwitch(p.CPU, p.Now(), true)
 	p.chargeSwitch()
 	p.sp.Advance(sim.Clock(cycles))
+}
+
+// LockAcquired implements lock.Eventer: it counts the acquisition in the
+// CPU's counter file (the paper's modified-executable DBMS instrumentation)
+// and forwards it to the observer.
+func (p *Process) LockAcquired(addr memsys.Addr, contended bool) {
+	p.Counters().LockAcquires++
+	p.os.obs.LockAcquire(p.CPU, uint64(addr), p.Now(), contended)
+}
+
+// BeginOp implements obs.Spanner: it opens an operator-attribution span on
+// this process's CPU.
+func (p *Process) BeginOp(name string) {
+	p.os.obs.BeginOp(p.CPU, name, p.Now(), p.Counters())
+}
+
+// EndOp implements obs.Spanner: it closes the innermost operator span.
+func (p *Process) EndOp() {
+	p.os.obs.EndOp(p.CPU, p.Now(), p.Counters())
 }
 
 // YieldCPU gives other simulated processes a chance to run without advancing

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},     // odd length: exact median element
+		{25, 20},     // rank 1.0: exact element
+		{40, 29},     // rank 1.6: 20 + 0.6*(35-20)
+		{-5, 15},     // clamped below
+		{150, 50},    // clamped above
+		{12.5, 17.5}, // rank 0.5: midpoint
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(xs, %g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %g, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 83); got != 7 {
+		t.Errorf("Percentile of singleton = %g, want 7", got)
+	}
+	// The input must not be reordered.
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Errorf("Percentile modified its input: %v", unsorted)
+	}
+}
+
+// Property: percentiles are monotone in p and agree with Median at p=50.
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []int16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		if Percentile(xs, pa) > Percentile(xs, pb)+1e-9 {
+			return false
+		}
+		// The interpolated p=50 matches Median for odd lengths exactly and
+		// for even lengths by the same midpoint rule.
+		return math.Abs(Percentile(xs, 50)-Median(xs)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	// n=4 of {2,4,4,6}: mean 4, sample std sqrt(8/3).
+	mean, hw := MeanCI95([]float64{2, 4, 4, 6})
+	if math.Abs(mean-4) > 1e-9 {
+		t.Errorf("mean = %g, want 4", mean)
+	}
+	want := 1.96 * math.Sqrt(8.0/3.0) / 2
+	if math.Abs(hw-want) > 1e-9 {
+		t.Errorf("half-width = %g, want %g", hw, want)
+	}
+
+	if mean, hw = MeanCI95([]float64{5}); mean != 5 || hw != 0 {
+		t.Errorf("singleton: mean %g hw %g, want 5 and 0", mean, hw)
+	}
+	if mean, hw = MeanCI95(nil); mean != 0 || hw != 0 {
+		t.Errorf("empty: mean %g hw %g, want zeros", mean, hw)
+	}
+}

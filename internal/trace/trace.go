@@ -50,15 +50,23 @@ func NewWriter(w io.Writer) (*Writer, error) {
 // Events returns the number of recorded events.
 func (t *Writer) Events() uint64 { return t.events }
 
-// Err returns the first write error (checked at Flush as well).
+// Err returns the first write error. Emit paths are silent (they implement
+// the charging interface, which has no error returns), so the error is
+// deferred: it sticks here and on Flush, and recording stops at the first
+// failure — callers must check one of the two.
 func (t *Writer) Err() error { return t.err }
 
-// Flush completes the trace.
+// Flush completes the trace. It surfaces the first deferred write error,
+// including one that bufio only detects while flushing its final buffer;
+// after a failed Flush, Err reports the same error.
 func (t *Writer) Flush() error {
 	if t.err != nil {
 		return t.err
 	}
-	return t.w.Flush()
+	if err := t.w.Flush(); err != nil {
+		t.err = err
+	}
+	return t.err
 }
 
 func (t *Writer) emit(op byte, a, b uint64) {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -69,6 +70,77 @@ func TestReplayRejectsGarbage(t *testing.T) {
 	raw := buf.Bytes()
 	if _, err := Replay(bytes.NewReader(raw[:len(raw)-1]), &recorder{}); err == nil {
 		t.Fatal("truncated trace accepted")
+	}
+}
+
+var errWriterBroken = errors.New("writer broken")
+
+// failAfter fails every Write once n bytes have been accepted.
+type failAfter struct {
+	n     int
+	wrote int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.wrote+len(p) > f.n {
+		return 0, errWriterBroken
+	}
+	f.wrote += len(p)
+	return len(p), nil
+}
+
+func TestFlushSurfacesDeferredError(t *testing.T) {
+	// The events fit bufio's buffer, so the failure only shows when Flush
+	// pushes them to the broken underlying writer; both Flush and Err must
+	// report it.
+	w, err := NewWriter(&failAfter{n: len(header)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Load(0x1000, 8)
+	w.Work(5)
+	if err := w.Flush(); err == nil {
+		t.Fatal("Flush swallowed the underlying write error")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err nil after failed Flush")
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("second Flush lost the sticky error")
+	}
+}
+
+func TestTeeErrorPropagation(t *testing.T) {
+	// A Tee keeps forwarding to the live memory even after the trace's
+	// underlying writer breaks mid-stream, and the Writer reports the error
+	// through Err and Flush rather than dropping events silently.
+	w, err := NewWriter(&failAfter{n: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out recorder
+	tee := Tee{Out: &out, Trace: w}
+	for i := 0; i < 4096; i++ { // >1 bufio buffer of encoded events
+		tee.Load(memsys.Addr(i*64), 8)
+	}
+	if len(out.events) != 4096 {
+		t.Fatalf("Tee dropped forwarded events: %d", len(out.events))
+	}
+	if w.Err() == nil {
+		t.Fatal("mid-stream write error not deferred to Err")
+	}
+	if w.Flush() == nil {
+		t.Fatal("Flush must surface the mid-stream error")
+	}
+	if w.Events() >= 4096 {
+		t.Fatalf("recording should stop at the first failure, got %d events", w.Events())
+	}
+}
+
+func TestCaptureQueryPropagatesWriteError(t *testing.T) {
+	data := tpch.Generate(0.001, 7)
+	if _, err := CaptureQuery(&failAfter{n: 8192}, data, tpch.Q6); err == nil {
+		t.Fatal("CaptureQuery ignored the broken writer")
 	}
 }
 

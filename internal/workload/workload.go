@@ -10,6 +10,7 @@ import (
 	"dssmem/internal/coherence"
 	"dssmem/internal/db/engine"
 	"dssmem/internal/machine"
+	"dssmem/internal/obs"
 	"dssmem/internal/perfctr"
 	"dssmem/internal/sim"
 	"dssmem/internal/simos"
@@ -49,6 +50,12 @@ type Options struct {
 	// paper's four trials: every first page touch pays a disk read and a
 	// voluntary context switch.
 	ColdRun bool
+	// Obs, when non-nil, attaches the observability layer: interval
+	// counter sampling, the structured event trace, and per-operator
+	// attribution, per its configuration. The observer is rebound to this
+	// run's CPU count and clock; observation is passive and does not
+	// perturb counters or timing.
+	Obs *obs.Observer
 }
 
 // ProcStats is one process's measured region.
@@ -141,6 +148,12 @@ func run(opts Options) (*Stats, error) {
 	osCfg.Seed += uint64(opts.Trial)
 	osys := simos.New(m, osCfg, opts.Quantum)
 
+	if opts.Obs != nil {
+		opts.Obs.Bind(spec.CPUs, spec.ClockMHz)
+		m.Observe(opts.Obs)
+		osys.Observe(opts.Obs)
+	}
+
 	queryOf := func(i int) tpch.QueryID {
 		if len(opts.Mix) > 0 {
 			return opts.Mix[i%len(opts.Mix)]
@@ -155,7 +168,9 @@ func run(opts Options) (*Stats, error) {
 			p.Classifier = db.Classify
 			sess := db.NewSession(p, i)
 			sessions[i] = sess
+			p.BeginOp("query:" + queryOf(i).String())
 			results[i] = tpch.Run(queryOf(i), sess)
+			p.EndOp()
 		})
 	}
 
@@ -244,29 +259,7 @@ func (s *Stats) MeanCounters() perfctr.Counters {
 }
 
 func scaleCounters(c perfctr.Counters, n int) perfctr.Counters {
-	if n <= 1 {
-		return c
-	}
-	d := uint64(n)
-	c.Cycles /= d
-	c.Instructions /= d
-	c.Loads /= d
-	c.Stores /= d
-	c.L1DMisses /= d
-	c.L2DMisses /= d
-	c.Upgrades /= d
-	c.ColdMisses /= d
-	c.CapacityMisses /= d
-	c.CoherenceMisses /= d
-	c.MemRequests /= d
-	c.MemLatencyCycles /= d
-	c.StallCycles /= d
-	c.Dirty3HopMisses /= d
-	c.VolCtxSwitches /= d
-	c.InvolCtxSwitches /= d
-	c.LockAcquires /= d
-	c.SpinIterations /= d
-	c.LockBackoffs /= d
+	c.Scale(n)
 	return c
 }
 

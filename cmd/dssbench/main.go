@@ -24,10 +24,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -40,6 +42,7 @@ func main() {
 	fig := flag.String("fig", "all", "figure number 2..10, or 'all', or 'none'")
 	ablation := flag.String("ablation", "none", "ablation name, 'all', or 'none'")
 	format := flag.String("format", "table", "output format: table, csv or json")
+	jsonOut := flag.String("json", "", "also write a machine-readable benchmark document (figures, ablations, wall/sim timing) to this file ('-' = stdout)")
 	chart := flag.Bool("chart", false, "append terminal sparklines for sweep figures")
 	list := flag.Bool("list", false, "list available figures and ablations")
 	sample := flag.Uint64("sample", 0, "observed run: sample counters every N simulated cycles")
@@ -101,6 +104,12 @@ func main() {
 		}
 		figs = []int{n}
 	}
+	doc := benchDoc{
+		Preset:   p.Name,
+		SF:       p.SF,
+		MemScale: p.MemScale,
+		Go:       runtime.Version(),
+	}
 	emit := func(r *dssmem.FigureResult) {
 		var err error
 		switch *format {
@@ -118,12 +127,18 @@ func main() {
 			fatal(err)
 		}
 	}
-	for _, id := range figs {
-		r, err := dssmem.RunFigure(env, id, nil)
+	timed := func(run func() (*dssmem.FigureResult, error)) *dssmem.FigureResult {
+		begin := time.Now()
+		r, err := run()
 		if err != nil {
 			fatal(err)
 		}
-		emit(r)
+		doc.add(r, time.Since(begin))
+		return r
+	}
+	for _, id := range figs {
+		id := id
+		emit(timed(func() (*dssmem.FigureResult, error) { return dssmem.RunFigure(env, id, nil) }))
 	}
 
 	var abls []string
@@ -135,15 +150,74 @@ func main() {
 		abls = []string{*ablation}
 	}
 	for _, name := range abls {
-		r, err := dssmem.RunAblation(env, name, nil)
-		if err != nil {
+		name := name
+		emit(timed(func() (*dssmem.FigureResult, error) { return dssmem.RunAblation(env, name, nil) }))
+	}
+	if *jsonOut != "" {
+		doc.TotalWallMS = float64(time.Since(start).Microseconds()) / 1e3
+		if err := writeBenchDoc(*jsonOut, &doc); err != nil {
 			fatal(err)
 		}
-		emit(r)
+		if *format == "table" && *jsonOut != "-" {
+			fmt.Printf("benchmark document written to %s\n", *jsonOut)
+		}
 	}
 	if *format == "table" {
 		fmt.Printf("total: %s\n", time.Since(start).Truncate(time.Millisecond))
 	}
+}
+
+// benchDoc is the machine-readable trajectory record emitted by -json: one
+// entry per figure/ablation with host wall time and the slowest cell's
+// simulated wall time, so CI can populate BENCH_*.json files from a run.
+type benchDoc struct {
+	Preset      string       `json:"preset"`
+	SF          float64      `json:"sf"`
+	MemScale    int          `json:"mem_scale"`
+	Go          string       `json:"go"`
+	Figures     []benchEntry `json:"figures,omitempty"`
+	Ablations   []benchEntry `json:"ablations,omitempty"`
+	TotalWallMS float64      `json:"total_wall_ms"`
+}
+
+type benchEntry struct {
+	ID            string               `json:"id"`
+	WallMS        float64              `json:"wall_ms"`
+	SimSecondsMax float64              `json:"sim_seconds_max,omitempty"`
+	Result        *dssmem.FigureResult `json:"result"`
+}
+
+// add records a completed figure or ablation with its timing.
+func (d *benchDoc) add(r *dssmem.FigureResult, wall time.Duration) {
+	e := benchEntry{
+		ID:     r.ID,
+		WallMS: float64(wall.Microseconds()) / 1e3,
+		Result: r,
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if p.WallSeconds > e.SimSecondsMax {
+				e.SimSecondsMax = p.WallSeconds
+			}
+		}
+	}
+	if _, err := strconv.Atoi(strings.TrimPrefix(r.ID, "fig")); err == nil && strings.HasPrefix(r.ID, "fig") {
+		d.Figures = append(d.Figures, e)
+	} else {
+		d.Ablations = append(d.Ablations, e)
+	}
+}
+
+func writeBenchDoc(path string, doc *benchDoc) error {
+	write := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	return emitFile(path, write)
 }
 
 // observedRun executes one configuration with the observability layer

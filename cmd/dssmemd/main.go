@@ -1,0 +1,111 @@
+// Command dssmemd serves the paper's simulations over HTTP: measurements,
+// figures and sweeps computed on demand, deduplicated in flight, and cached
+// in a persistent content-addressed store so nothing deterministic is ever
+// simulated twice.
+//
+// Usage:
+//
+//	dssmemd [-addr :8077] [-preset tiny|small|medium] [-cache-dir DIR]
+//	        [-workers N] [-run-timeout D] [-env-parallelism N]
+//	        [-drain-timeout D]
+//
+// Endpoints (see internal/service):
+//
+//	curl localhost:8077/v1/figure/2
+//	curl 'localhost:8077/v1/measure?machine=origin&query=Q21&procs=8'
+//	curl 'localhost:8077/v1/sweep?machine=vclass&query=Q6'
+//	curl localhost:8077/healthz
+//	curl localhost:8077/metrics
+//
+// The first SIGINT/SIGTERM drains gracefully: new connections are refused,
+// in-flight requests (and their simulations) run to completion, bounded by
+// -drain-timeout. A second signal — or the drain deadline — aborts the
+// remaining simulations at their next scheduling quantum and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dssmem"
+	"dssmem/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	preset := flag.String("preset", "medium", "scale preset: tiny, small or medium")
+	cacheDir := flag.String("cache-dir", "dssmemd-cache", "persistent result cache directory ('' = memory only)")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	runTimeout := flag.Duration("run-timeout", 10*time.Minute, "per-simulation ceiling (0 = none)")
+	envPar := flag.Int("env-parallelism", 0, "per-figure sweep fan-out (0 = GOMAXPROCS)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget before in-flight runs are aborted")
+	flag.Parse()
+
+	p, err := dssmem.PresetByName(*preset)
+	if err != nil {
+		log.Fatalf("dssmemd: %v", err)
+	}
+	log.Printf("dssmemd: generating %s dataset (SF=%.4f)", p.Name, p.SF)
+	srv, err := service.New(service.Config{
+		Preset:         p,
+		CacheDir:       *cacheDir,
+		Workers:        *workers,
+		RunTimeout:     *runTimeout,
+		EnvParallelism: *envPar,
+	})
+	if err != nil {
+		log.Fatalf("dssmemd: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("dssmemd: serving preset %s on %s (cache %s)", p.Name, *addr, cacheLabel(*cacheDir))
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("dssmemd: %v", err)
+	case sig := <-sigc:
+		log.Printf("dssmemd: %v — draining (up to %v; signal again to abort)", sig, *drainTimeout)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Shutdown(drainCtx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Printf("dssmemd: drain incomplete: %v — aborting in-flight runs", err)
+		}
+	case sig := <-sigc:
+		log.Printf("dssmemd: %v — aborting in-flight runs", sig)
+	}
+	srv.Close()
+	httpSrv.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("dssmemd: %v", err)
+	}
+	log.Printf("dssmemd: stopped")
+}
+
+func cacheLabel(dir string) string {
+	if dir == "" {
+		return "memory-only"
+	}
+	return fmt.Sprintf("dir %s", dir)
+}

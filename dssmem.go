@@ -26,6 +26,7 @@
 package dssmem
 
 import (
+	"context"
 	"io"
 
 	"dssmem/internal/core"
@@ -117,6 +118,17 @@ func GenerateData(sf float64, seed uint64) *Data { return tpch.Generate(sf, seed
 // Run executes one configuration, validating every process's query answer
 // against the reference implementation.
 func Run(opts RunOptions) (*RunStats, error) { return workload.Run(opts) }
+
+// RunContext is Run with cancellation: when ctx ends, the simulation aborts
+// at its next scheduling-quantum boundary (cmd/dssmemd is built on this).
+func RunContext(ctx context.Context, opts RunOptions) (*RunStats, error) {
+	return workload.RunContext(ctx, opts)
+}
+
+// RunTrials repeats a configuration n times with perturbed OS jitter (the
+// paper's four averaged trials), fanning the independent trials out across
+// host cores while preserving per-trial seeds and result order.
+func RunTrials(opts RunOptions, n int) ([]*RunStats, error) { return workload.RunTrials(opts, n) }
 
 // Measure converts run stats into the paper's metrics.
 func Measure(st *RunStats) Measurement { return core.FromStats(st) }

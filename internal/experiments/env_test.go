@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dssmem/internal/core"
+	"dssmem/internal/perfctr"
+	"dssmem/internal/rescache"
+	"dssmem/internal/tpch"
+	"dssmem/internal/workload"
+)
+
+// fakeEnv returns an Env whose Runner is a synthetic workload: instant, and
+// parameterized by the options so distinct configurations yield distinct
+// measurements.
+func fakeEnv(runner func(context.Context, workload.Options) (*workload.Stats, error)) *Env {
+	e := NewEnvWith(Tiny, sharedEnv.Data)
+	e.Runner = runner
+	return e
+}
+
+func fakeStats(o workload.Options) *workload.Stats {
+	cyc := uint64(1000 + 10*o.SpinLimit + o.Processes)
+	return &workload.Stats{
+		MachineName: o.Spec.Name,
+		ClockMHz:    o.Spec.ClockMHz,
+		Query:       o.Query,
+		Processes:   o.Processes,
+		Procs: []workload.ProcStats{{
+			Query:        o.Query,
+			Counters:     perfctr.Counters{Instructions: 1000, Cycles: cyc},
+			ThreadCycles: cyc,
+			WallCycles:   cyc + 100,
+		}},
+	}
+}
+
+// TestMeasureOptsKeysOnOptionsNotTag is the regression test for the cache-key
+// collision hazard: two ablations passing different workload.Options under
+// the SAME tag must not share a measurement, and the same options under
+// DIFFERENT tags must.
+func TestMeasureOptsKeysOnOptionsNotTag(t *testing.T) {
+	var calls atomic.Int64
+	e := fakeEnv(func(_ context.Context, o workload.Options) (*workload.Stats, error) {
+		calls.Add(1)
+		return fakeStats(o), nil
+	})
+	spec := e.VClass()
+
+	plain, err := e.MeasureOpts("sametag", tpch.Q21, 8, workload.Options{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spun, err := e.MeasureOpts("sametag", tpch.Q21, 8, workload.Options{Spec: spec, SpinLimit: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("runs = %d: different options under one tag shared a cache entry", calls.Load())
+	}
+	if plain == spun {
+		t.Fatal("distinct configurations returned the same measurement")
+	}
+
+	again, err := e.MeasureOpts("othertag", tpch.Q21, 8, workload.Options{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("runs = %d: identical options under a new tag re-ran the simulation", calls.Load())
+	}
+	if again != plain {
+		t.Fatal("tag leaked into the cache key")
+	}
+}
+
+func TestSweepErrorPropagation(t *testing.T) {
+	boom := errors.New("injected mid-sweep failure")
+	e := fakeEnv(func(_ context.Context, o workload.Options) (*workload.Stats, error) {
+		if o.Processes == 6 {
+			return nil, boom
+		}
+		return fakeStats(o), nil
+	})
+	_, err := e.Sweep("vclass", e.VClass(), tpch.Q6, workload.Options{})
+	if err == nil {
+		t.Fatal("failing measurement did not fail the sweep")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected failure in the chain", err)
+	}
+}
+
+func TestSweepBoundedParallelism(t *testing.T) {
+	var cur, peak atomic.Int64
+	e := fakeEnv(func(_ context.Context, o workload.Options) (*workload.Stats, error) {
+		n := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond) // hold the slot so overlap is observable
+		return fakeStats(o), nil
+	})
+	e.Parallelism = 2
+	if _, err := e.Sweep("vclass", e.VClass(), tpch.Q6, workload.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("observed %d concurrent runs, semaphore bound is 2", p)
+	}
+}
+
+// TestColdWarmByteIdentical is the determinism contract of the result cache:
+// the same digest yields byte-identical Measurement JSON whether the result
+// was just simulated (cold), read back from the same store (warm memory), or
+// read by a fresh process-equivalent store from disk (warm disk) — and all
+// match a direct workload.Run of the canonical options.
+func TestColdWarmByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	spec := sharedEnv.VClass()
+
+	marshal := func(m core.Measurement) []byte {
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	cold := NewEnvWith(Tiny, sharedEnv.Data)
+	store1, err := rescache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.Results = store1
+	m1, hit, err := cold.MeasureCached(spec.Name, tpch.Q6, 1, workload.Options{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("cold run reported a cache hit")
+	}
+
+	warm := NewEnvWith(Tiny, sharedEnv.Data)
+	store2, err := rescache.Open(dir) // fresh store over the same disk: a daemon restart
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Results = store2
+	warm.Runner = func(context.Context, workload.Options) (*workload.Stats, error) {
+		t.Error("warm path ran a simulation")
+		return nil, errors.New("unreachable")
+	}
+	m2, hit, err := warm.MeasureCached(spec.Name, tpch.Q6, 1, workload.Options{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("disk-persisted result not found after 'restart'")
+	}
+	if !bytes.Equal(marshal(m1), marshal(m2)) {
+		t.Fatalf("cold/warm JSON differ:\ncold %s\nwarm %s", marshal(m1), marshal(m2))
+	}
+
+	// And both equal a direct, cache-free workload run.
+	direct := cold.CanonicalOptions(tpch.Q6, 1, workload.Options{Spec: spec})
+	direct.Data = sharedEnv.Data
+	st, err := workload.Run(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(core.FromStats(st)), marshal(m1)) {
+		t.Fatal("cached measurement differs from a direct workload.Run")
+	}
+}
+
+// TestMeasureCtxCancellation: a cancelled Env context aborts the measurement
+// instead of waiting for it.
+func TestMeasureCtxCancellation(t *testing.T) {
+	started := make(chan struct{})
+	e := fakeEnv(func(ctx context.Context, o workload.Options) (*workload.Stats, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, fmt.Errorf("aborted: %w", context.Cause(ctx))
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	e.Ctx = ctx
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var err error
+	go func() {
+		defer wg.Done()
+		_, err = e.Measure(e.VClass(), tpch.Q6, 1)
+	}()
+	<-started
+	cancel()
+	wg.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

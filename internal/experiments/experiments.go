@@ -5,12 +5,15 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"dssmem/internal/core"
 	"dssmem/internal/machine"
+	"dssmem/internal/rescache"
 	"dssmem/internal/tpch"
 	"dssmem/internal/workload"
 )
@@ -54,20 +57,36 @@ var ProcCounts = []int{1, 2, 4, 6, 8}
 // Env is a shared experimental environment: one generated database reused by
 // every figure, plus a cache of completed runs (Figs. 2–4 share the same
 // configurations, as do Figs. 5–10).
+//
+// Runs are keyed by the canonical digest of their full configuration
+// (rescache.CanonicalRequest) — not by the caller-supplied tag, which is
+// used only in error messages. Two ablations passing different
+// workload.Options therefore never share a measurement, no matter how they
+// are tagged.
 type Env struct {
 	Preset Preset
 	Data   *tpch.Data
 
-	mu    sync.Mutex
-	cache map[runKey]core.Measurement
+	// Results is the content-addressed run cache. Leave nil for a private
+	// in-memory cache; the daemon points it at a shared, disk-persisted
+	// store so measurements survive restarts and deduplicate across
+	// requests.
+	Results *rescache.Store
+
+	// Ctx, when non-nil, bounds every measurement: its cancellation aborts
+	// in-flight simulations at the next scheduling quantum (the daemon binds
+	// it to the HTTP request). nil means context.Background().
+	Ctx context.Context
+
+	// Runner executes one workload run (nil selects workload.RunContext).
+	// The daemon injects a runner that bounds global concurrency, applies
+	// per-run timeouts and records metrics; tests inject failures.
+	Runner func(context.Context, workload.Options) (*workload.Stats, error)
+
 	// Parallelism bounds concurrent simulations (each is single-threaded).
 	Parallelism int
-}
 
-type runKey struct {
-	tag   string
-	query tpch.QueryID
-	procs int
+	initMu sync.Mutex // guards lazy Results init
 }
 
 // NewEnv generates the preset's database once and returns the environment.
@@ -81,9 +100,32 @@ func NewEnvWith(p Preset, d *tpch.Data) *Env {
 	return &Env{
 		Preset:      p,
 		Data:        d,
-		cache:       make(map[runKey]core.Measurement),
+		Results:     rescache.NewMemory(),
 		Parallelism: runtime.GOMAXPROCS(0),
 	}
+}
+
+func (e *Env) results() *rescache.Store {
+	e.initMu.Lock()
+	defer e.initMu.Unlock()
+	if e.Results == nil {
+		e.Results = rescache.NewMemory()
+	}
+	return e.Results
+}
+
+func (e *Env) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
+}
+
+func (e *Env) runner() func(context.Context, workload.Options) (*workload.Stats, error) {
+	if e.Runner != nil {
+		return e.Runner
+	}
+	return workload.RunContext
 }
 
 // VClass returns the V-Class spec at this environment's scale.
@@ -97,32 +139,56 @@ func (e *Env) Measure(spec machine.Spec, q tpch.QueryID, procs int) (core.Measur
 	return e.MeasureOpts(spec.Name, q, procs, workload.Options{Spec: spec})
 }
 
-// MeasureOpts runs one configuration with workload overrides; tag must
-// uniquely name the machine variant (ablations pass e.g. "vclass-nomigratory").
+// MeasureOpts runs one configuration with workload overrides; tag names the
+// machine variant in error messages (ablations pass e.g.
+// "vclass-nomigratory"). The cache key is the canonical digest of the full
+// configuration, so the tag carries no identity.
 func (e *Env) MeasureOpts(tag string, q tpch.QueryID, procs int, opts workload.Options) (core.Measurement, error) {
-	key := runKey{tag: tag, query: q, procs: procs}
-	e.mu.Lock()
-	if m, ok := e.cache[key]; ok {
-		e.mu.Unlock()
-		return m, nil
-	}
-	e.mu.Unlock()
+	m, _, err := e.MeasureCached(tag, q, procs, opts)
+	return m, err
+}
 
-	opts.Data = e.Data
+// CanonicalOptions normalizes opts exactly as a measurement run applies it:
+// defaults made explicit so equivalent requests share a content digest, and
+// non-identity fields (Data, Obs) cleared. rescache.DigestOptions over the
+// result is the measurement's cache key.
+func (e *Env) CanonicalOptions(q tpch.QueryID, procs int, opts workload.Options) workload.Options {
+	opts.Data = nil
+	opts.Obs = nil
 	opts.Query = q
 	opts.Processes = procs
+	opts.Validate = true
 	if opts.OSTimeScale == 0 {
 		opts.OSTimeScale = e.Preset.MemScale
 	}
-	st, err := workload.Run(opts)
+	return opts
+}
+
+// MeasureCached is MeasureOpts exposing whether the measurement was answered
+// from the cache (memory or disk) without running a simulation.
+func (e *Env) MeasureCached(tag string, q tpch.QueryID, procs int, opts workload.Options) (core.Measurement, bool, error) {
+	opts = e.CanonicalOptions(q, procs, opts)
+	dig := rescache.DigestOptions(e.Preset.SF, e.Preset.Seed, opts)
+
+	raw, hit, err := e.results().Do(e.ctx(), rescache.NSMeasurement, dig, func(runCtx context.Context) ([]byte, error) {
+		o := opts
+		o.Data = e.Data
+		st, err := e.runner()(runCtx, o)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(core.FromStats(st))
+	})
 	if err != nil {
-		return core.Measurement{}, fmt.Errorf("%s/%v/p%d: %w", tag, q, procs, err)
+		return core.Measurement{}, false, fmt.Errorf("%s/%v/p%d: %w", tag, q, procs, err)
 	}
-	m := core.FromStats(st)
-	e.mu.Lock()
-	e.cache[key] = m
-	e.mu.Unlock()
-	return m, nil
+	// Both cold and warm paths decode the stored JSON, so a given digest
+	// yields byte-identical re-encodings regardless of cache state.
+	var m core.Measurement
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return core.Measurement{}, false, fmt.Errorf("%s/%v/p%d: corrupt cached measurement %s: %w", tag, q, procs, dig.Short(), err)
+	}
+	return m, hit, nil
 }
 
 // Sweep measures a query over ProcCounts on one machine variant, in parallel

@@ -1,0 +1,274 @@
+package rescache
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"sync/atomic"
+)
+
+// Namespaces partition the store by result kind. They appear in disk paths,
+// so they must stay filename-safe (see validNS).
+const (
+	NSMeasurement = "measurement"
+	NSFigure      = "figure"
+	NSSweep       = "sweep"
+)
+
+var validNS = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
+
+// Stats is a snapshot of the store's counters (the daemon's /metrics source).
+type Stats struct {
+	MemHits    uint64 // served from the in-memory tier
+	DiskHits   uint64 // served from disk (then promoted to memory)
+	Misses     uint64 // required a compute
+	Shared     uint64 // joined an in-flight identical compute (singleflight)
+	Puts       uint64 // results stored
+	Aborted    uint64 // computes cancelled because every waiter left
+	Panics     uint64 // computes that panicked (isolated, reported as errors)
+	DiskErrors uint64 // disk reads/writes that failed (store degrades to memory)
+}
+
+// Store is a two-tier content-addressed result store with singleflight
+// deduplication. The memory tier is authoritative for the process lifetime;
+// the optional disk tier persists results across restarts. All methods are
+// safe for concurrent use.
+type Store struct {
+	dir string // "" = memory only
+
+	mu      sync.Mutex
+	mem     map[string][]byte
+	flights map[string]*flight
+
+	memHits    atomic.Uint64
+	diskHits   atomic.Uint64
+	misses     atomic.Uint64
+	shared     atomic.Uint64
+	puts       atomic.Uint64
+	aborted    atomic.Uint64
+	panics     atomic.Uint64
+	diskErrors atomic.Uint64
+}
+
+// flight is one in-progress compute. Waiters hold a reference; when the last
+// one leaves, the compute's context is cancelled so the simulation aborts
+// instead of burning cycles for nobody.
+type flight struct {
+	done    chan struct{}
+	val     []byte
+	err     error
+	waiters int
+	cancel  context.CancelCauseFunc
+}
+
+// Open returns a store persisting to dir (created if absent). An empty dir
+// yields a memory-only store.
+func Open(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("rescache: %w", err)
+		}
+	}
+	return &Store{
+		dir:     dir,
+		mem:     make(map[string][]byte),
+		flights: make(map[string]*flight),
+	}, nil
+}
+
+// NewMemory returns a memory-only store (tests, one-shot CLI runs).
+func NewMemory() *Store {
+	s, _ := Open("")
+	return s
+}
+
+// Dir reports the disk tier's directory ("" when memory-only).
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		MemHits:    s.memHits.Load(),
+		DiskHits:   s.diskHits.Load(),
+		Misses:     s.misses.Load(),
+		Shared:     s.shared.Load(),
+		Puts:       s.puts.Load(),
+		Aborted:    s.aborted.Load(),
+		Panics:     s.panics.Load(),
+		DiskErrors: s.diskErrors.Load(),
+	}
+}
+
+func key(ns string, d Digest) string { return ns + "/" + string(d) }
+
+// path maps a digest to its disk location, fanned out over a two-hex-char
+// prefix directory to keep directories small.
+func (s *Store) path(ns string, d Digest) string {
+	prefix := "00"
+	if len(d) >= 2 {
+		prefix = string(d[:2])
+	}
+	return filepath.Join(s.dir, ns, prefix, string(d)+".json")
+}
+
+// Get returns the stored bytes for (ns, d): memory first, then disk (a disk
+// hit is promoted to memory). The returned slice must not be modified.
+func (s *Store) Get(ns string, d Digest) ([]byte, bool) {
+	s.mu.Lock()
+	v, ok := s.mem[key(ns, d)]
+	s.mu.Unlock()
+	if ok {
+		s.memHits.Add(1)
+		return v, true
+	}
+	if s.dir == "" || !validNS.MatchString(ns) {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(ns, d))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.diskErrors.Add(1)
+		}
+		return nil, false
+	}
+	s.mu.Lock()
+	s.mem[key(ns, d)] = b
+	s.mu.Unlock()
+	s.diskHits.Add(1)
+	return b, true
+}
+
+// Put stores v under (ns, d) in memory and, when configured, on disk
+// (atomically: temp file + rename). A disk failure degrades the store to
+// memory-only for that entry and is reported, but the value remains served.
+func (s *Store) Put(ns string, d Digest, v []byte) error {
+	if !validNS.MatchString(ns) {
+		return fmt.Errorf("rescache: invalid namespace %q", ns)
+	}
+	s.mu.Lock()
+	s.mem[key(ns, d)] = v
+	s.mu.Unlock()
+	s.puts.Add(1)
+	if s.dir == "" {
+		return nil
+	}
+	p := s.path(ns, d)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		s.diskErrors.Add(1)
+		return fmt.Errorf("rescache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+string(d.Short())+".tmp-*")
+	if err != nil {
+		s.diskErrors.Add(1)
+		return fmt.Errorf("rescache: %w", err)
+	}
+	if _, err := tmp.Write(v); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.diskErrors.Add(1)
+		return fmt.Errorf("rescache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.diskErrors.Add(1)
+		return fmt.Errorf("rescache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		s.diskErrors.Add(1)
+		return fmt.Errorf("rescache: %w", err)
+	}
+	return nil
+}
+
+// Do returns the cached bytes for (ns, d), computing them at most once across
+// all concurrent callers. hit reports whether the result came from the cache
+// without waiting on a compute started by this call chain.
+//
+// Lifecycle contract:
+//   - compute runs on its own goroutine with a context that is cancelled
+//     only when every waiter has abandoned the flight (last-waiter-cancels),
+//     so one client disconnecting never aborts a run others still want;
+//   - a panicking compute is isolated: waiters receive it as an error, the
+//     store stays usable;
+//   - a caller whose ctx ends stops waiting and gets ctx's error; the
+//     compute result (if it still finishes) is cached for future callers;
+//   - failed computes are not cached — the next request retries.
+func (s *Store) Do(ctx context.Context, ns string, d Digest, compute func(context.Context) ([]byte, error)) (v []byte, hit bool, err error) {
+	if v, ok := s.Get(ns, d); ok {
+		return v, true, nil
+	}
+	k := key(ns, d)
+	s.mu.Lock()
+	// Re-check memory under the lock: a flight may have completed between
+	// Get and here.
+	if v, ok := s.mem[k]; ok {
+		s.mu.Unlock()
+		s.memHits.Add(1)
+		return v, true, nil
+	}
+	f := s.flights[k]
+	if f == nil {
+		runCtx, cancel := context.WithCancelCause(context.Background())
+		f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+		s.flights[k] = f
+		s.mu.Unlock()
+		s.misses.Add(1)
+		go s.runFlight(k, ns, d, f, runCtx, compute)
+	} else {
+		f.waiters++
+		s.mu.Unlock()
+		s.shared.Add(1)
+	}
+
+	select {
+	case <-f.done:
+		return f.val, false, f.err
+	case <-ctx.Done():
+		// The flight may have completed in the same instant; prefer its
+		// result over a spurious abort.
+		select {
+		case <-f.done:
+			return f.val, false, f.err
+		default:
+		}
+		s.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		s.mu.Unlock()
+		if last {
+			s.aborted.Add(1)
+			f.cancel(context.Cause(ctx))
+		}
+		return nil, false, ctx.Err()
+	}
+}
+
+// runFlight executes one compute with panic isolation and publishes the
+// outcome.
+func (s *Store) runFlight(k, ns string, d Digest, f *flight, runCtx context.Context, compute func(context.Context) ([]byte, error)) {
+	var v []byte
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.panics.Add(1)
+				err = fmt.Errorf("rescache: compute %s/%s panicked: %v", ns, d.Short(), r)
+			}
+		}()
+		v, err = compute(runCtx)
+	}()
+	if err == nil {
+		// A disk failure must not fail the request; the value is still good.
+		_ = s.Put(ns, d, v)
+	}
+	s.mu.Lock()
+	delete(s.flights, k)
+	s.mu.Unlock()
+	f.val, f.err = v, err
+	close(f.done)
+	f.cancel(nil) // release the context's resources
+}

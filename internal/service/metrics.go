@@ -1,0 +1,67 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// handleMetrics renders the daemon's counters in the Prometheus text
+// exposition format. Written by hand — the repository takes no dependency on
+// a metrics library; the format is four lines of convention.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	cs := s.store.Stats()
+	s.latMu.Lock()
+	latSum, latCount := s.latSum, s.latCount
+	s.latMu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+
+	p("# HELP dssmem_cache_hits_total Results served without simulation, by tier.")
+	p("# TYPE dssmem_cache_hits_total counter")
+	p("dssmem_cache_hits_total{tier=\"mem\"} %d", cs.MemHits)
+	p("dssmem_cache_hits_total{tier=\"disk\"} %d", cs.DiskHits)
+	p("# HELP dssmem_cache_misses_total Requests that required a compute.")
+	p("# TYPE dssmem_cache_misses_total counter")
+	p("dssmem_cache_misses_total %d", cs.Misses)
+	p("# HELP dssmem_singleflight_shared_total Requests that joined an identical in-flight compute.")
+	p("# TYPE dssmem_singleflight_shared_total counter")
+	p("dssmem_singleflight_shared_total %d", cs.Shared)
+	p("# HELP dssmem_cache_aborted_total Computes cancelled because every waiter left.")
+	p("# TYPE dssmem_cache_aborted_total counter")
+	p("dssmem_cache_aborted_total %d", cs.Aborted)
+	p("# HELP dssmem_cache_panics_total Computes that panicked (isolated).")
+	p("# TYPE dssmem_cache_panics_total counter")
+	p("dssmem_cache_panics_total %d", cs.Panics)
+	p("# HELP dssmem_cache_disk_errors_total Disk tier failures (store degrades to memory).")
+	p("# TYPE dssmem_cache_disk_errors_total counter")
+	p("dssmem_cache_disk_errors_total %d", cs.DiskErrors)
+
+	p("# HELP dssmem_runs_total Simulations started by the worker pool.")
+	p("# TYPE dssmem_runs_total counter")
+	p("dssmem_runs_total %d", s.runs.Load())
+	p("# HELP dssmem_runs_inflight Simulations currently executing.")
+	p("# TYPE dssmem_runs_inflight gauge")
+	p("dssmem_runs_inflight %d", s.inflight.Load())
+	p("# HELP dssmem_run_errors_total Simulations that returned an error (including aborts).")
+	p("# TYPE dssmem_run_errors_total counter")
+	p("dssmem_run_errors_total %d", s.runErrs.Load())
+	p("# HELP dssmem_run_aborts_total Simulations aborted by cancellation or timeout.")
+	p("# TYPE dssmem_run_aborts_total counter")
+	p("dssmem_run_aborts_total %d", s.aborted.Load())
+	p("# HELP dssmem_run_seconds Wall-clock simulation time.")
+	p("# TYPE dssmem_run_seconds summary")
+	p("dssmem_run_seconds_sum %g", latSum)
+	p("dssmem_run_seconds_count %d", latCount)
+
+	p("# HELP dssmem_requests_total API requests handled.")
+	p("# TYPE dssmem_requests_total counter")
+	p("dssmem_requests_total %d", s.reqTotal.Load())
+	p("# HELP dssmem_request_errors_total API requests that failed.")
+	p("# TYPE dssmem_request_errors_total counter")
+	p("dssmem_request_errors_total %d", s.reqErrors.Load())
+	p("# HELP dssmem_uptime_seconds Seconds since the daemon started.")
+	p("# TYPE dssmem_uptime_seconds gauge")
+	p("dssmem_uptime_seconds %g", time.Since(s.start).Seconds())
+}

@@ -1,0 +1,439 @@
+// Package service is the simulation-as-a-service layer: an HTTP API over the
+// deterministic workload runner, backed by the persistent content-addressed
+// result cache (internal/rescache) and a cancellation-aware job manager.
+//
+// Endpoints:
+//
+//	GET /v1/measure?machine=vclass&query=Q6&procs=4[&trial=N][&cold=1]
+//	GET /v1/figure/{id}      one of the paper's figures (2..10)
+//	GET /v1/sweep?machine=origin&query=Q21
+//	GET /healthz
+//	GET /metrics             Prometheus text format
+//
+// Responses carry X-Cache: hit|miss and X-Digest headers. Identical
+// in-flight requests are deduplicated to one simulation; a client disconnect
+// aborts a run (at the next simulation scheduling quantum) once its last
+// waiter is gone; results persist across daemon restarts when a cache
+// directory is configured.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dssmem/internal/core"
+	"dssmem/internal/experiments"
+	"dssmem/internal/machine"
+	"dssmem/internal/rescache"
+	"dssmem/internal/tpch"
+	"dssmem/internal/workload"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Preset selects the database/machine scale (experiments.PresetByName).
+	Preset experiments.Preset
+	// CacheDir persists results across restarts ("" = memory only).
+	CacheDir string
+	// Workers bounds concurrently executing simulations across all requests
+	// (0 = GOMAXPROCS). Queued runs wait, cancellation-aware, for a slot.
+	Workers int
+	// RunTimeout aborts any single simulation exceeding it (0 = no limit).
+	RunTimeout time.Duration
+	// EnvParallelism bounds the per-request fan-out inside figure/sweep
+	// computations (0 = GOMAXPROCS). Total concurrency is still capped by
+	// Workers, which gates at the simulation level.
+	EnvParallelism int
+}
+
+// Server implements the HTTP API. Create with New, expose via Handler.
+type Server struct {
+	cfg   Config
+	data  *tpch.Data
+	store *rescache.Store
+	sem   chan struct{}
+	mux   *http.ServeMux
+	start time.Time
+
+	// base is cancelled by Close: it hard-aborts every in-flight run after
+	// the HTTP layer has drained (or when draining is abandoned).
+	base     context.Context
+	baseStop context.CancelCauseFunc
+
+	inflight atomic.Int64
+	runs     atomic.Uint64
+	runErrs  atomic.Uint64
+	aborted  atomic.Uint64
+
+	latMu     sync.Mutex
+	latSum    float64
+	latCount  uint64
+	reqTotal  atomic.Uint64
+	reqErrors atomic.Uint64
+
+	// runHook replaces the workload runner in tests (nil = workload.RunContext).
+	runHook func(context.Context, workload.Options) (*workload.Stats, error)
+}
+
+// errShutdown is the cancellation cause used when the server closes.
+var errShutdown = errors.New("service: server shutting down")
+
+// New builds a server: generates the preset's database (deterministic, so
+// identical across restarts) and opens the result store.
+func New(cfg Config) (*Server, error) {
+	if cfg.Preset.Name == "" {
+		return nil, fmt.Errorf("service: config needs a preset")
+	}
+	store, err := rescache.Open(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	base, stop := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		data:     tpch.Generate(cfg.Preset.SF, cfg.Preset.Seed),
+		store:    store,
+		sem:      make(chan struct{}, cfg.Workers),
+		start:    time.Now(),
+		base:     base,
+		baseStop: stop,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/measure", s.handleMeasure)
+	s.mux.HandleFunc("GET /v1/figure/{id}", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/sweep", s.handleSweep)
+	return s, nil
+}
+
+// Handler returns the HTTP handler. Wire it into http.Server; graceful
+// shutdown is the owner's job (http.Server.Shutdown drains in-flight
+// requests, whose runs complete; call Close to hard-abort instead).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the result store (metrics, tests).
+func (s *Server) Store() *rescache.Store { return s.store }
+
+// Close hard-cancels every in-flight run: waiters are released with an error
+// and the underlying simulations abort at their next scheduling quantum.
+// Idempotent.
+func (s *Server) Close() error {
+	s.baseStop(errShutdown)
+	return nil
+}
+
+// requestCtx derives the job context for one HTTP request: it ends when the
+// client disconnects, or when the server closes.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancelCause(r.Context())
+	stop := context.AfterFunc(s.base, func() { cancel(context.Cause(s.base)) })
+	return ctx, func() { stop(); cancel(nil) }
+}
+
+// env builds a per-request experiment environment sharing the daemon's data
+// and persistent store; the gated runner funnels every simulation through
+// the worker pool.
+func (s *Server) env(ctx context.Context) *experiments.Env {
+	e := experiments.NewEnvWith(s.cfg.Preset, s.data)
+	e.Results = s.store
+	e.Ctx = ctx
+	e.Runner = s.gatedRun
+	if s.cfg.EnvParallelism > 0 {
+		e.Parallelism = s.cfg.EnvParallelism
+	}
+	return e
+}
+
+// gatedRun is the run lifecycle: bounded worker slot (cancellation-aware
+// acquisition), per-run timeout, metrics. Panic isolation lives one level
+// up, in rescache.Store.Do, which owns the compute goroutine.
+func (s *Server) gatedRun(ctx context.Context, opts workload.Options) (*workload.Stats, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.aborted.Add(1)
+		return nil, fmt.Errorf("service: run cancelled while queued: %w", context.Cause(ctx))
+	}
+	defer func() { <-s.sem }()
+	if s.cfg.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, s.cfg.RunTimeout, fmt.Errorf("service: run exceeded %v", s.cfg.RunTimeout))
+		defer cancel()
+	}
+	run := workload.RunContext
+	if s.runHook != nil {
+		run = s.runHook
+	}
+	s.inflight.Add(1)
+	s.runs.Add(1)
+	begin := time.Now()
+	st, err := run(ctx, opts)
+	s.inflight.Add(-1)
+	s.latMu.Lock()
+	s.latSum += time.Since(begin).Seconds()
+	s.latCount++
+	s.latMu.Unlock()
+	if err != nil {
+		s.runErrs.Add(1)
+		if ctx.Err() != nil {
+			s.aborted.Add(1)
+		}
+	}
+	return st, err
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	ctx, done := s.requestCtx(r)
+	defer done()
+
+	spec, err := parseMachine(r.URL.Query().Get("machine"), r.URL.Query().Get("cpus"), s.cfg.Preset.MemScale)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := parseQuery(r.URL.Query().Get("query"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	procs, err := parseIntDefault(r.URL.Query().Get("procs"), 1)
+	if err != nil || procs < 1 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad procs %q", r.URL.Query().Get("procs")))
+		return
+	}
+	trial, err := parseIntDefault(r.URL.Query().Get("trial"), 0)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad trial %q", r.URL.Query().Get("trial")))
+		return
+	}
+	opts := workload.Options{
+		Spec:    spec,
+		Trial:   trial,
+		ColdRun: boolParam(r, "cold"),
+	}
+
+	env := s.env(ctx)
+	m, hit, err := env.MeasureCached(spec.Name, q, procs, opts)
+	if err != nil {
+		s.failRun(w, err)
+		return
+	}
+	dig := rescache.DigestOptions(s.cfg.Preset.SF, s.cfg.Preset.Seed, env.CanonicalOptions(q, procs, opts))
+	s.respond(w, hit, dig, struct {
+		Digest      string           `json:"digest"`
+		Cache       string           `json:"cache"`
+		Measurement core.Measurement `json:"measurement"`
+	}{string(dig), cacheWord(hit), m})
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	ctx, done := s.requestCtx(r)
+	defer done()
+
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad figure id %q", r.PathValue("id")))
+		return
+	}
+	dig, err := rescache.DigestJSON(struct {
+		Schema int                `json:"schema"`
+		Kind   string             `json:"kind"`
+		Preset experiments.Preset `json:"preset"`
+		Figure int                `json:"figure"`
+		Procs  []int              `json:"procs"`
+	}{1, "figure", s.cfg.Preset, id, experiments.ProcCounts})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	raw, hit, err := s.store.Do(ctx, rescache.NSFigure, dig, func(runCtx context.Context) ([]byte, error) {
+		res, err := experiments.RunFigure(s.env(runCtx), id, nil)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	})
+	if err != nil {
+		if strings.Contains(err.Error(), "no figure") {
+			s.fail(w, http.StatusNotFound, err)
+			return
+		}
+		s.failRun(w, err)
+		return
+	}
+	s.respondRaw(w, hit, dig, raw)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	ctx, done := s.requestCtx(r)
+	defer done()
+
+	spec, err := parseMachine(r.URL.Query().Get("machine"), r.URL.Query().Get("cpus"), s.cfg.Preset.MemScale)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := parseQuery(r.URL.Query().Get("query"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	dig, err := rescache.DigestJSON(struct {
+		Schema  int                `json:"schema"`
+		Kind    string             `json:"kind"`
+		Preset  experiments.Preset `json:"preset"`
+		Machine machine.Spec       `json:"machine"`
+		Query   string             `json:"query"`
+		Procs   []int              `json:"procs"`
+	}{1, "sweep", s.cfg.Preset, spec, q.String(), experiments.ProcCounts})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	raw, hit, err := s.store.Do(ctx, rescache.NSSweep, dig, func(runCtx context.Context) ([]byte, error) {
+		series, err := s.env(runCtx).Sweep(spec.Name, spec, q, workload.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(series)
+	})
+	if err != nil {
+		s.failRun(w, err)
+		return
+	}
+	s.respondRaw(w, hit, dig, raw)
+}
+
+// --- response helpers ---
+
+func cacheWord(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func (s *Server) respond(w http.ResponseWriter, hit bool, dig rescache.Digest, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.respondRaw(w, hit, dig, b)
+}
+
+func (s *Server) respondRaw(w http.ResponseWriter, hit bool, dig rescache.Digest, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Cache", cacheWord(hit))
+	h.Set("X-Digest", string(dig))
+	w.Write(body)
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		w.Write([]byte("\n"))
+	}
+}
+
+// failRun maps run errors to HTTP statuses: cancellations and timeouts are
+// the client's doing or the server's deadline, everything else is a 500.
+func (s *Server) failRun(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, errShutdown):
+		status = http.StatusServiceUnavailable
+	}
+	s.fail(w, status, err)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.reqErrors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+// --- parameter parsing ---
+
+func parseMachine(name, cpus string, memScale int) (machine.Spec, error) {
+	n := 0
+	if cpus != "" {
+		var err error
+		n, err = strconv.Atoi(cpus)
+		if err != nil || n < 1 {
+			return machine.Spec{}, fmt.Errorf("bad cpus %q", cpus)
+		}
+	}
+	switch strings.ToLower(name) {
+	case "", "vclass", "hpv", "v-class":
+		if n == 0 {
+			n = 16
+		}
+		return machine.VClassSpec(n, memScale), nil
+	case "origin", "sgi", "origin2000":
+		if n == 0 {
+			n = 32
+		}
+		return machine.OriginSpec(n, memScale), nil
+	case "starfire", "e10000":
+		if n == 0 {
+			n = 64
+		}
+		return machine.StarfireSpec(n, memScale), nil
+	}
+	return machine.Spec{}, fmt.Errorf("unknown machine %q (vclass|origin|starfire)", name)
+}
+
+func parseQuery(name string) (tpch.QueryID, error) {
+	switch strings.ToUpper(name) {
+	case "", "Q6":
+		return tpch.Q6, nil
+	case "Q21":
+		return tpch.Q21, nil
+	case "Q12":
+		return tpch.Q12, nil
+	case "Q1":
+		return tpch.Q1, nil
+	}
+	return 0, fmt.Errorf("unknown query %q (Q6|Q21|Q12|Q1)", name)
+}
+
+func parseIntDefault(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func boolParam(r *http.Request, name string) bool {
+	switch strings.ToLower(r.URL.Query().Get(name)) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}

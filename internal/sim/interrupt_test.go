@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInterruptBeforeRun(t *testing.T) {
+	k := NewKernel(0)
+	ran := false
+	k.Spawn(func(p *Proc) {
+		ran = true
+		for {
+			p.Advance(10)
+		}
+	})
+	k.Interrupt(nil)
+	err := k.Run()
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if ran {
+		t.Fatal("process body ran despite pre-run interrupt")
+	}
+}
+
+func TestInterruptFromAnotherGoroutine(t *testing.T) {
+	k := NewKernel(100)
+	for i := 0; i < 3; i++ {
+		k.Spawn(func(p *Proc) {
+			for {
+				p.Advance(10) // never returns: only Interrupt can end this run
+			}
+		})
+	}
+	cause := errors.New("deadline blown")
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		k.Interrupt(cause)
+		k.Interrupt(errors.New("second cause, must be dropped")) // idempotent
+	}()
+	err := k.Run()
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want wrapped cause %v", err, cause)
+	}
+	if strings.Contains(err.Error(), "second cause") {
+		t.Fatalf("err = %v kept a later cause", err)
+	}
+}
+
+// TestInterruptWithinOneQuantum pins the cancellation contract the serving
+// layer relies on: after Interrupt, no process advances more than one
+// scheduling quantum past the point where the request landed.
+func TestInterruptWithinOneQuantum(t *testing.T) {
+	const quantum = 1000
+	k := NewKernel(quantum)
+	var stopAt Clock
+	p := k.Spawn(func(p *Proc) {
+		for {
+			p.Advance(100)
+			if stopAt == 0 && p.Now() >= 5000 {
+				stopAt = p.Now()
+				k.Interrupt(nil)
+			}
+		}
+	})
+	if err := k.Run(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if p.Now() > stopAt+quantum {
+		t.Fatalf("process ran to %d, more than one quantum past the interrupt at %d", p.Now(), stopAt)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Clock counts simulated CPU cycles.
@@ -27,6 +28,11 @@ const DefaultQuantum Clock = 20_000
 // ErrKilled is delivered to processes that are still running when the kernel
 // is shut down early.
 var ErrKilled = errors.New("sim: process killed")
+
+// ErrInterrupted is returned by Run when the kernel was stopped early via
+// Interrupt. Test with errors.Is; the cause passed to Interrupt (if any) is
+// wrapped alongside it.
+var ErrInterrupted = errors.New("sim: run interrupted")
 
 type yieldKind int
 
@@ -121,6 +127,15 @@ type Kernel struct {
 	bodies  []func(*Proc)
 	events  chan yieldMsg
 	started bool
+
+	// Interruption. stop is closed (once) by Interrupt; the scheduler checks
+	// it before every quantum grant, so a run aborts within one quantum of
+	// the request. These are the only kernel fields touched from outside the
+	// scheduling goroutine.
+	stop      chan struct{}
+	stopOnce  sync.Once
+	causeMu   sync.Mutex
+	stopCause error
 }
 
 // NewKernel returns a kernel with the given scheduling quantum in cycles.
@@ -132,7 +147,33 @@ func NewKernel(quantum Clock) *Kernel {
 	return &Kernel{
 		quantum: quantum,
 		events:  make(chan yieldMsg),
+		stop:    make(chan struct{}),
 	}
+}
+
+// Interrupt requests that Run abort at the next scheduling-quantum boundary:
+// every live process is killed (its goroutine unwinds via ErrKilled) and Run
+// returns an error satisfying errors.Is(err, ErrInterrupted), wrapping cause
+// when non-nil. Unlike every other Kernel method, Interrupt is safe to call
+// from any goroutine, at any time (before, during or after Run), and is
+// idempotent — only the first call's cause is kept.
+func (k *Kernel) Interrupt(cause error) {
+	k.stopOnce.Do(func() {
+		k.causeMu.Lock()
+		k.stopCause = cause
+		k.causeMu.Unlock()
+		close(k.stop)
+	})
+}
+
+// interruptErr builds Run's return value after a stop request.
+func (k *Kernel) interruptErr() error {
+	k.causeMu.Lock()
+	defer k.causeMu.Unlock()
+	if k.stopCause != nil {
+		return fmt.Errorf("%w: %w", ErrInterrupted, k.stopCause)
+	}
+	return ErrInterrupted
 }
 
 // Quantum reports the scheduling quantum in cycles.
@@ -181,6 +222,23 @@ func (k *Kernel) Run() error {
 
 	var firstErr error
 	for len(live) > 0 {
+		// At the top of each iteration every live process is parked in
+		// runnable, blocked on its resume channel — the one safe point to
+		// honour an interrupt by killing them all.
+		select {
+		case <-k.stop:
+			for _, p := range runnable {
+				close(p.resume)
+				<-k.events // the ErrKilled unwind notification
+				delete(live, p.id)
+			}
+			runnable = runnable[:0]
+			if firstErr == nil {
+				firstErr = k.interruptErr()
+			}
+			return firstErr
+		default:
+		}
 		// Pick the runnable process with the minimum clock (ties by ID).
 		sort.Slice(runnable, func(i, j int) bool {
 			if runnable[i].clock != runnable[j].clock {

@@ -121,6 +121,11 @@ func (o *OS) Spawn(cpu int, body func(*Process)) *Process {
 // Run executes all processes to completion.
 func (o *OS) Run() error { return o.kernel.Run() }
 
+// Interrupt aborts an in-flight Run at the next scheduling-quantum boundary.
+// It is the one OS method that may be called from outside the simulation
+// (any goroutine, any time); see sim.Kernel.Interrupt.
+func (o *OS) Interrupt(cause error) { o.kernel.Interrupt(cause) }
+
 // Processes returns the spawned processes.
 func (o *OS) Processes() []*Process { return o.procs }
 

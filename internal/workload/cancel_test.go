@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dssmem/internal/machine"
+	"dssmem/internal/tpch"
+)
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := RunContext(ctx, opts(machine.VClassSpec(16, 256), tpch.Q21, 4))
+	if err == nil {
+		// The interrupt races the (short, tiny-preset) run; completing first
+		// is legal, but with a pre-cancelled context it should essentially
+		// never happen.
+		t.Skipf("run completed before the interrupt landed: %+v", st.Processes)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, opts(machine.OriginSpec(32, 256), tpch.Q21, 8))
+		done <- err
+	}()
+	time.Sleep(3 * time.Millisecond) // let the run get going
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want nil (already finished) or context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+}
+
+// TestRunTrialsMatchesSerialRuns pins the parallel-trials refactor: trial i
+// must produce byte-identical stats to a lone Run with Trial=i.
+func TestRunTrialsMatchesSerialRuns(t *testing.T) {
+	o := opts(machine.VClassSpec(16, 256), tpch.Q6, 2)
+	sts, err := RunTrials(o, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 3 {
+		t.Fatalf("got %d trials", len(sts))
+	}
+	for i, st := range sts {
+		oi := o
+		oi.Trial = i
+		ref, err := Run(oi)
+		if err != nil {
+			t.Fatalf("serial trial %d: %v", i, err)
+		}
+		got, _ := json.Marshal(st)
+		want, _ := json.Marshal(ref)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d diverges from serial run:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+func TestRunTrialsErrorNamesLowestTrial(t *testing.T) {
+	o := opts(machine.VClassSpec(4, 256), tpch.Q6, 9) // 9 procs > 4 CPUs: every trial fails
+	_, err := RunTrials(o, 3)
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if want := "trial 0:"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %v, want mention of %q", err, want)
+	}
+}

@@ -5,7 +5,11 @@
 package workload
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"dssmem/internal/coherence"
 	"dssmem/internal/db/engine"
@@ -93,17 +97,31 @@ type SessStats struct {
 
 // Run executes the configuration and validates the answers.
 func Run(opts Options) (*Stats, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled (client
+// disconnect, timeout, shutdown) the simulation kernel is interrupted at the
+// next scheduling-quantum boundary and RunContext returns ctx's error — no
+// goroutine keeps simulating in the background.
+func RunContext(ctx context.Context, opts Options) (*Stats, error) {
 	opts.Validate = true
-	return run(opts)
+	return run(ctx, opts)
 }
 
 // RunUnchecked executes without answer validation (benchmarks).
 func RunUnchecked(opts Options) (*Stats, error) {
 	opts.Validate = false
-	return run(opts)
+	return run(context.Background(), opts)
 }
 
-func run(opts Options) (*Stats, error) {
+// RunUncheckedContext is RunUnchecked with cancellation.
+func RunUncheckedContext(ctx context.Context, opts Options) (*Stats, error) {
+	opts.Validate = false
+	return run(ctx, opts)
+}
+
+func run(ctx context.Context, opts Options) (*Stats, error) {
 	if opts.Processes <= 0 {
 		return nil, fmt.Errorf("workload: need at least one process")
 	}
@@ -175,7 +193,14 @@ func run(opts Options) (*Stats, error) {
 	}
 
 	m.ResetCounters() // measured region starts now (caches cold, pool warm)
+	if ctx != nil && ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { osys.Interrupt(context.Cause(ctx)) })
+		defer stop()
+	}
 	if err := osys.Run(); err != nil {
+		if errors.Is(err, sim.ErrInterrupted) && ctx != nil && ctx.Err() != nil {
+			return nil, fmt.Errorf("workload: run aborted: %w", context.Cause(ctx))
+		}
 		return nil, err
 	}
 
@@ -232,18 +257,45 @@ func run(opts Options) (*Stats, error) {
 // returns every trial's stats, mirroring the paper's methodology ("we
 // perform the same test four times and use the average values").
 func RunTrials(opts Options, n int) ([]*Stats, error) {
+	return RunTrialsContext(context.Background(), opts, n)
+}
+
+// RunTrialsContext runs the trials concurrently: each trial is an independent
+// single-threaded simulation, so they fan out across host cores, bounded by
+// GOMAXPROCS. Trial i keeps the jitter seed opts.Trial+i it would get under
+// serial execution, and the returned slice is in trial order, so results are
+// byte-identical to the old serial path. The lowest-indexed failing trial's
+// error is reported. When opts.Obs is non-nil the trials run serially: one
+// observer cannot watch two concurrent simulations.
+func RunTrialsContext(ctx context.Context, opts Options, n int) ([]*Stats, error) {
 	if n < 1 {
 		n = 1
 	}
+	limit := runtime.GOMAXPROCS(0)
+	if limit < 1 || opts.Obs != nil {
+		limit = 1
+	}
 	out := make([]*Stats, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		o := opts
 		o.Trial = opts.Trial + i
-		st, err := Run(o)
+		o.Validate = true // same contract as Run
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, o Options) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = run(ctx, o)
+		}(i, o)
+	}
+	wg.Wait()
+	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("trial %d: %w", i, err)
 		}
-		out[i] = st
 	}
 	return out, nil
 }

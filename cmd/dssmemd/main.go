@@ -7,7 +7,17 @@
 //
 //	dssmemd [-addr :8077] [-preset tiny|small|medium] [-cache-dir DIR]
 //	        [-workers N] [-run-timeout D] [-env-parallelism N]
-//	        [-drain-timeout D]
+//	        [-drain-timeout D] [-max-queue N] [-hard-deadline D]
+//	        [-faults SPEC] [-fault-seed N]
+//
+// Overload and failure handling (DESIGN.md §10): requests beyond the worker
+// pool wait in a bounded queue (-max-queue); past that they are shed with
+// 429 + Retry-After. -hard-deadline arms a watchdog that abandons any
+// simulation still running past the deadline, even one wedged beyond the
+// reach of cooperative cancellation. -faults arms deterministic fault
+// injection for chaos drills against a live daemon, e.g.
+//
+//	dssmemd -preset tiny -faults 'disk.read.corrupt=0.1,compute.panic=0.05'
 //
 // Endpoints (see internal/service):
 //
@@ -32,10 +42,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"dssmem"
+	"dssmem/internal/fault"
+	"dssmem/internal/rescache"
 	"dssmem/internal/service"
 )
 
@@ -47,20 +60,48 @@ func main() {
 	runTimeout := flag.Duration("run-timeout", 10*time.Minute, "per-simulation ceiling (0 = none)")
 	envPar := flag.Int("env-parallelism", 0, "per-figure sweep fan-out (0 = GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget before in-flight runs are aborted")
+	maxQueue := flag.Int("max-queue", 0, "max requests waiting for a worker before shedding with 429 (0 = 4x workers, <0 = unbounded)")
+	hardDeadline := flag.Duration("hard-deadline", 0, "watchdog deadline after which a run is abandoned (0 = 2x run-timeout, <0 = none)")
+	faultSpec := flag.String("faults", "", "arm fault injection: 'site=prob,...' (sites: "+strings.Join(siteNames(), " ")+")")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector's RNG")
 	flag.Parse()
 
 	p, err := dssmem.PresetByName(*preset)
 	if err != nil {
 		log.Fatalf("dssmemd: %v", err)
 	}
-	log.Printf("dssmemd: generating %s dataset (SF=%.4f)", p.Name, p.SF)
-	srv, err := service.New(service.Config{
+
+	cfg := service.Config{
 		Preset:         p,
 		CacheDir:       *cacheDir,
 		Workers:        *workers,
 		RunTimeout:     *runTimeout,
 		EnvParallelism: *envPar,
-	})
+		MaxQueue:       *maxQueue,
+		HardDeadline:   *hardDeadline,
+	}
+	if *faultSpec != "" {
+		probs, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			log.Fatalf("dssmemd: -faults: %v", err)
+		}
+		inj := fault.New(*faultSeed)
+		inj.Configure(probs)
+		cfg.Faults = inj
+		if *cacheDir != "" {
+			// Route the cache's disk I/O through the injector too, so disk
+			// sites fire; the store is otherwise identical to the default.
+			store, err := rescache.OpenFS(*cacheDir, fault.FS{Inner: rescache.OSFS{}, Inj: inj})
+			if err != nil {
+				log.Fatalf("dssmemd: %v", err)
+			}
+			cfg.Store = store
+		}
+		log.Printf("dssmemd: FAULT INJECTION ARMED (seed %d): %s", *faultSeed, inj)
+	}
+
+	log.Printf("dssmemd: generating %s dataset (SF=%.4f)", p.Name, p.SF)
+	srv, err := service.New(cfg)
 	if err != nil {
 		log.Fatalf("dssmemd: %v", err)
 	}
@@ -101,6 +142,15 @@ func main() {
 		log.Printf("dssmemd: %v", err)
 	}
 	log.Printf("dssmemd: stopped")
+}
+
+func siteNames() []string {
+	sites := fault.Sites()
+	names := make([]string, len(sites))
+	for i, s := range sites {
+		names[i] = string(s)
+	}
+	return names
 }
 
 func cacheLabel(dir string) string {

@@ -1,0 +1,64 @@
+package fault
+
+import (
+	"io/fs"
+)
+
+// Filesystem is the disk surface the result store runs on — identical to
+// rescache.FS, restated here so the packages stay decoupled (rescache must
+// not depend on its own fault layer).
+type Filesystem interface {
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	MkdirAll(path string, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Glob(pattern string) ([]string, error)
+}
+
+// FS wraps a real filesystem with fault injection at the disk sites:
+// DiskReadErr and DiskReadCorrupt on reads, DiskWriteErr on writes and
+// renames, DiskWriteTorn persisting a truncated prefix while reporting
+// success (the on-disk shape a crash mid-write leaves behind). MkdirAll,
+// Remove and Glob pass through: they are recovery paths, and breaking them
+// would only mask the interesting faults.
+type FS struct {
+	Inner Filesystem
+	Inj   *Injector
+}
+
+func (f FS) ReadFile(name string) ([]byte, error) {
+	if err := f.Inj.Err(DiskReadErr, "read "+name); err != nil {
+		return nil, err
+	}
+	b, err := f.Inner.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inj.Corrupt(DiskReadCorrupt, b), nil
+}
+
+func (f FS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	if err := f.Inj.Err(DiskWriteErr, "write "+name); err != nil {
+		return err
+	}
+	if f.Inj.Hit(DiskWriteTorn) && len(data) > 1 {
+		return f.Inner.WriteFile(name, data[:len(data)/2], perm)
+	}
+	return f.Inner.WriteFile(name, data, perm)
+}
+
+func (f FS) MkdirAll(path string, perm fs.FileMode) error {
+	return f.Inner.MkdirAll(path, perm)
+}
+
+func (f FS) Rename(oldpath, newpath string) error {
+	if err := f.Inj.Err(DiskWriteErr, "rename "+newpath); err != nil {
+		return err
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f FS) Remove(name string) error { return f.Inner.Remove(name) }
+
+func (f FS) Glob(pattern string) ([]string, error) { return f.Inner.Glob(pattern) }

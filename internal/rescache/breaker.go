@@ -1,0 +1,115 @@
+package rescache
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the disk-tier circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: disk operations flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the disk tier is bypassed (memory-only degraded mode);
+	// after the cooldown one probe operation is allowed through.
+	BreakerOpen
+	// BreakerHalfOpen: a probe operation is in flight; its outcome closes
+	// or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Defaults for the store's breaker; override with Store.SetBreaker.
+const (
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 10 * time.Second
+)
+
+// breaker trips the store into memory-only operation after `threshold`
+// consecutive disk faults, and probes the disk again (half-open, one
+// operation at a time) once `cooldown` has elapsed. A missing file is a
+// healthy disk answering truthfully, so only real I/O errors count as
+// failures — that distinction is why Store reads must not fold every error
+// into "miss".
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock (tests)
+
+	state    BreakerState
+	consec   int
+	openedAt time.Time
+	trips    uint64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = defaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a disk operation may proceed. While open, the first
+// call after the cooldown transitions to half-open and is admitted as the
+// probe; concurrent calls keep being rejected until the probe resolves.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // BreakerHalfOpen: a probe is already out
+		return false
+	}
+}
+
+// success records a completed disk operation; it closes a half-open breaker
+// and resets the consecutive-failure count.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.consec = 0
+	b.state = BreakerClosed
+	b.mu.Unlock()
+}
+
+// failure records a disk fault; the breaker opens when the probe fails or
+// the consecutive-failure count reaches the threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.consec >= b.threshold) {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips++
+	}
+}
+
+// snapshot returns (state, trips) without racing the transitions.
+func (b *breaker) snapshot() (BreakerState, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

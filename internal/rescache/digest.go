@@ -17,6 +17,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"dssmem/internal/machine"
 	"dssmem/internal/simos"
@@ -44,8 +45,10 @@ const requestSchema = 1
 // Request digest is a sound content address for the result.
 //
 // Deliberately excluded: workload.Options.Data (the dataset is identified by
-// its generator inputs SF and Seed — the generator is deterministic) and
-// workload.Options.Obs (observation is passive and never perturbs results).
+// its generator inputs SF and Seed — the generator is deterministic),
+// workload.Options.Obs (observation is passive and never perturbs results)
+// and workload.Options.SimFault (wall-clock fault injection; simulated
+// clocks and results are untouched).
 type Request struct {
 	Schema          int          `json:"schema"`
 	DataSF          float64      `json:"data_sf"`
@@ -75,7 +78,7 @@ func CanonicalRequest(sf float64, seed uint64, opts workload.Options) Request {
 		Spec:            opts.Spec,
 		OS:              opts.OS,
 		Quantum:         uint64(opts.Quantum),
-		Query:           opts.Query.String(),
+		Query:           CanonicalString(opts.Query.String()),
 		Processes:       opts.Processes,
 		Validate:        opts.Validate,
 		SpinLimit:       opts.SpinLimit,
@@ -86,9 +89,21 @@ func CanonicalRequest(sf float64, seed uint64, opts workload.Options) Request {
 		ColdRun:         opts.ColdRun,
 	}
 	for _, q := range opts.Mix {
-		r.Mix = append(r.Mix, q.String())
+		r.Mix = append(r.Mix, CanonicalString(q.String()))
 	}
 	return r
+}
+
+// CanonicalString maps a string to the form that survives a JSON round trip
+// byte-for-byte. Go's encoder writes invalid UTF-8 bytes as a six-byte
+// backslash-u escape of U+FFFD but a decoded U+FFFD literally, so a digest
+// over a string
+// with invalid bytes would change after one decode/re-encode cycle;
+// replacing invalid bytes up front (idempotently) removes the instability.
+// Found by FuzzDigestCanonical. Identity strings in practice (query names)
+// are always valid UTF-8, so this is a no-op on the production path.
+func CanonicalString(s string) string {
+	return strings.ToValidUTF8(s, "�")
 }
 
 // Digest returns the request's content address.

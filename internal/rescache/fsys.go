@@ -1,0 +1,32 @@
+package rescache
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the disk tier runs on. Production uses OSFS;
+// the fault layer (internal/fault.FS) wraps it to inject read/write errors,
+// corrupted bytes and torn writes, so the store's failure handling is
+// exercised on exactly the code paths production runs.
+type FS interface {
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	MkdirAll(path string, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Glob(pattern string) ([]string, error)
+}
+
+// OSFS is the production filesystem.
+type OSFS struct{}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (OSFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (OSFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (OSFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error                     { return os.Remove(name) }
+func (OSFS) Glob(pattern string) ([]string, error)        { return filepath.Glob(pattern) }

@@ -1,0 +1,111 @@
+package rescache
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"dssmem/internal/machine"
+	"dssmem/internal/simos"
+)
+
+// FuzzDigestCanonical fuzzes the request canonicalization behind every cache
+// key. The properties pinned here are the ones a content-addressed store
+// lives and dies by:
+//
+//   - determinism: equal requests digest equal, across re-encodings
+//     (float formatting, unicode escaping, struct field order);
+//   - map-order independence: DigestJSON over a map is insertion-order
+//     blind (encoding/json sorts keys — this pins that we rely on it);
+//   - sensitivity: changing any identity field changes the digest.
+//
+// CI runs this as a short -fuzz smoke over the seed corpus; the chaos job
+// runs it longer.
+func FuzzDigestCanonical(f *testing.F) {
+	f.Add(0.002, uint64(7), "Q6", 4, 0, false, 0.0, 256)
+	f.Add(1.0, uint64(0), "Q21", 1, 3, true, -1.0, 1)
+	f.Add(0.1, uint64(1<<63), "Ωmega≠query ", 64, -1, false, 0.5, 1024)
+	f.Add(3.14159, uint64(42), "q\x00uote\"back\\slash", 2, 1, true, 1e-9, 7)
+	f.Add(math.MaxFloat64, uint64(math.MaxUint64), "", 0, math.MaxInt32, false, math.SmallestNonzeroFloat64, 0)
+
+	f.Fuzz(func(t *testing.T, sf float64, seed uint64, query string, procs, trial int, cold bool, hint float64, scale int) {
+		if math.IsNaN(sf) || math.IsInf(sf, 0) || math.IsNaN(hint) || math.IsInf(hint, 0) {
+			t.Skip("non-finite floats are rejected upstream (JSON cannot carry them)")
+		}
+		// Identity strings enter Requests through CanonicalString (see
+		// CanonicalRequest); it must be idempotent for the digest to be a
+		// fixed point.
+		if CanonicalString(CanonicalString(query)) != CanonicalString(query) {
+			t.Fatalf("CanonicalString not idempotent on %q", query)
+		}
+		mk := func() Request {
+			return Request{
+				Schema:          requestSchema,
+				DataSF:          sf,
+				DataSeed:        seed,
+				Spec:            machine.VClassSpec(16, 256),
+				OS:              simos.Config{},
+				Query:           CanonicalString(query),
+				Processes:       procs,
+				Trial:           trial,
+				ColdRun:         cold,
+				HintBitFraction: hint,
+				OSTimeScale:     scale,
+			}
+		}
+
+		// Determinism: two independently built equal requests digest equal.
+		r1, r2 := mk(), mk()
+		d1, d2 := r1.Digest(), r2.Digest()
+		if d1 != d2 {
+			t.Fatalf("equal requests digest differently: %s vs %s", d1, d2)
+		}
+		if len(d1) != 64 {
+			t.Fatalf("digest %q is not hex sha256", d1)
+		}
+
+		// Stability across a JSON round trip: the canonical encoding must
+		// survive decode/re-encode (float shortest-form round-trip, unicode
+		// escaping, field order).
+		b, err := json.Marshal(r1)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var rt Request
+		if err := json.Unmarshal(b, &rt); err != nil {
+			t.Fatalf("unmarshal own encoding: %v", err)
+		}
+		if rt.Digest() != d1 {
+			t.Fatalf("digest changed across JSON round trip:\n %s\n %s", d1, rt.Digest())
+		}
+
+		// Map-order independence of DigestJSON.
+		m1 := map[string]any{"sf": sf, "query": query, "trial": trial}
+		m2 := map[string]any{"trial": trial, "query": query, "sf": sf}
+		dm1, err1 := DigestJSON(m1)
+		dm2, err2 := DigestJSON(m2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("map digest: %v %v", err1, err2)
+		}
+		if dm1 != dm2 {
+			t.Fatalf("map insertion order leaked into digest")
+		}
+
+		// Sensitivity: every identity field perturbation moves the digest.
+		perturb := []func(*Request){
+			func(r *Request) { r.Trial++ },
+			func(r *Request) { r.ColdRun = !r.ColdRun },
+			func(r *Request) { r.Processes++ },
+			func(r *Request) { r.DataSeed++ },
+			func(r *Request) { r.Query += "x" },
+			func(r *Request) { r.Schema++ },
+		}
+		for i, mut := range perturb {
+			r := mk()
+			mut(&r)
+			if r.Digest() == d1 {
+				t.Fatalf("perturbation %d did not change the digest", i)
+			}
+		}
+	})
+}

@@ -34,9 +34,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("# HELP dssmem_cache_panics_total Computes that panicked (isolated).")
 	p("# TYPE dssmem_cache_panics_total counter")
 	p("dssmem_cache_panics_total %d", cs.Panics)
-	p("# HELP dssmem_cache_disk_errors_total Disk tier failures (store degrades to memory).")
+	p("# HELP dssmem_cache_disk_errors_total Disk tier I/O failures (feed the circuit breaker).")
 	p("# TYPE dssmem_cache_disk_errors_total counter")
 	p("dssmem_cache_disk_errors_total %d", cs.DiskErrors)
+	p("# HELP dssmem_cache_corrupt_total Disk entries that failed checksum verification.")
+	p("# TYPE dssmem_cache_corrupt_total counter")
+	p("dssmem_cache_corrupt_total %d", cs.Corrupt)
+	p("# HELP dssmem_cache_quarantined_total Corrupt entries moved to quarantine.")
+	p("# TYPE dssmem_cache_quarantined_total counter")
+	p("dssmem_cache_quarantined_total %d", cs.Quarantined)
+	p("# HELP dssmem_cache_disk_skipped_total Disk operations bypassed in degraded (memory-only) mode.")
+	p("# TYPE dssmem_cache_disk_skipped_total counter")
+	p("dssmem_cache_disk_skipped_total %d", cs.DiskSkipped)
+	p("# HELP dssmem_cache_breaker_state Disk circuit breaker: 0 closed, 1 half-open, 2 open.")
+	p("# TYPE dssmem_cache_breaker_state gauge")
+	p("dssmem_cache_breaker_state %d", breakerGauge(cs.Breaker))
+	p("# HELP dssmem_cache_breaker_trips_total Breaker transitions into the open state.")
+	p("# TYPE dssmem_cache_breaker_trips_total counter")
+	p("dssmem_cache_breaker_trips_total %d", cs.BreakerTrips)
+	p("# HELP dssmem_cache_orphans_swept_total Crash-orphaned temp files removed at startup.")
+	p("# TYPE dssmem_cache_orphans_swept_total counter")
+	p("dssmem_cache_orphans_swept_total %d", cs.OrphansSwept)
 
 	p("# HELP dssmem_runs_total Simulations started by the worker pool.")
 	p("# TYPE dssmem_runs_total counter")
@@ -50,6 +68,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("# HELP dssmem_run_aborts_total Simulations aborted by cancellation or timeout.")
 	p("# TYPE dssmem_run_aborts_total counter")
 	p("dssmem_run_aborts_total %d", s.aborted.Load())
+	p("# HELP dssmem_runs_queued Runs waiting for a worker slot.")
+	p("# TYPE dssmem_runs_queued gauge")
+	p("dssmem_runs_queued %d", s.queued.Load())
+	p("# HELP dssmem_runs_shed_total Runs rejected by admission control (429).")
+	p("# TYPE dssmem_runs_shed_total counter")
+	p("dssmem_runs_shed_total %d", s.shed.Load())
+	p("# HELP dssmem_watchdog_kills_total Runs abandoned by the hard-deadline watchdog.")
+	p("# TYPE dssmem_watchdog_kills_total counter")
+	p("dssmem_watchdog_kills_total %d", s.wdKills.Load())
+	p("# HELP dssmem_runs_abandoned_live Abandoned runs that have not exited yet.")
+	p("# TYPE dssmem_runs_abandoned_live gauge")
+	p("dssmem_runs_abandoned_live %d", s.hung.Load())
 	p("# HELP dssmem_run_seconds Wall-clock simulation time.")
 	p("# TYPE dssmem_run_seconds summary")
 	p("dssmem_run_seconds_sum %g", latSum)
@@ -64,4 +94,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("# HELP dssmem_uptime_seconds Seconds since the daemon started.")
 	p("# TYPE dssmem_uptime_seconds gauge")
 	p("dssmem_uptime_seconds %g", time.Since(s.start).Seconds())
+}
+
+func breakerGauge(state string) int {
+	switch state {
+	case "half-open":
+		return 1
+	case "open":
+		return 2
+	}
+	return 0
 }

@@ -32,6 +32,7 @@ import (
 
 	"dssmem/internal/core"
 	"dssmem/internal/experiments"
+	"dssmem/internal/fault"
 	"dssmem/internal/machine"
 	"dssmem/internal/rescache"
 	"dssmem/internal/tpch"
@@ -44,15 +45,33 @@ type Config struct {
 	Preset experiments.Preset
 	// CacheDir persists results across restarts ("" = memory only).
 	CacheDir string
+	// Store overrides the result store built from CacheDir (the chaos
+	// harness wires one over a fault-injecting filesystem). nil = open from
+	// CacheDir.
+	Store *rescache.Store
 	// Workers bounds concurrently executing simulations across all requests
 	// (0 = GOMAXPROCS). Queued runs wait, cancellation-aware, for a slot.
 	Workers int
-	// RunTimeout aborts any single simulation exceeding it (0 = no limit).
+	// MaxQueue bounds runs waiting for a worker slot (admission control):
+	// beyond it, requests are shed immediately with 429 + Retry-After
+	// instead of queueing unboundedly. 0 = 4×Workers; negative = unbounded.
+	MaxQueue int
+	// RunTimeout aborts any single simulation exceeding it (0 = no limit)
+	// via the cooperative quantum-boundary interrupt.
 	RunTimeout time.Duration
+	// HardDeadline is the watchdog: a run still executing after it is
+	// abandoned (its worker slot reclaimed, 504 returned) even if it never
+	// honours cancellation — the backstop for wedged simulations. 0 picks
+	// 2×RunTimeout when RunTimeout is set, else none; negative = none.
+	HardDeadline time.Duration
 	// EnvParallelism bounds the per-request fan-out inside figure/sweep
 	// computations (0 = GOMAXPROCS). Total concurrency is still capped by
 	// Workers, which gates at the simulation level.
 	EnvParallelism int
+	// Faults, when non-nil, arms the service-level fault sites (compute
+	// panic/hang, scheduler stalls) for chaos testing. Disk sites are wired
+	// separately, via Store over a fault.FS.
+	Faults *fault.Injector
 }
 
 // Server implements the HTTP API. Create with New, expose via Handler.
@@ -70,9 +89,13 @@ type Server struct {
 	baseStop context.CancelCauseFunc
 
 	inflight atomic.Int64
+	queued   atomic.Int64 // runs admitted but not yet holding a worker slot
 	runs     atomic.Uint64
 	runErrs  atomic.Uint64
 	aborted  atomic.Uint64
+	shed     atomic.Uint64 // runs rejected by admission control
+	wdKills  atomic.Uint64 // runs abandoned by the watchdog
+	hung     atomic.Int64  // abandoned runs that have not finished yet
 
 	latMu     sync.Mutex
 	latSum    float64
@@ -87,18 +110,39 @@ type Server struct {
 // errShutdown is the cancellation cause used when the server closes.
 var errShutdown = errors.New("service: server shutting down")
 
+// errOverloaded is returned by admission control when the wait queue is
+// full; it maps to 429 + Retry-After.
+var errOverloaded = errors.New("service: overloaded")
+
+// errWatchdog marks a run abandoned by the hard-deadline watchdog; it maps
+// to 504 (retriable — the next attempt gets a fresh run).
+var errWatchdog = errors.New("service: watchdog abandoned wedged run")
+
 // New builds a server: generates the preset's database (deterministic, so
 // identical across restarts) and opens the result store.
 func New(cfg Config) (*Server, error) {
 	if cfg.Preset.Name == "" {
 		return nil, fmt.Errorf("service: config needs a preset")
 	}
-	store, err := rescache.Open(cfg.CacheDir)
-	if err != nil {
-		return nil, err
+	store := cfg.Store
+	if store == nil {
+		var err error
+		store, err = rescache.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4 * cfg.Workers
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = int(^uint(0) >> 1) // effectively unbounded
+	}
+	if cfg.HardDeadline == 0 && cfg.RunTimeout > 0 {
+		cfg.HardDeadline = 2 * cfg.RunTimeout
 	}
 	base, stop := context.WithCancelCause(context.Background())
 	s := &Server{
@@ -157,49 +201,158 @@ func (s *Server) env(ctx context.Context) *experiments.Env {
 	return e
 }
 
-// gatedRun is the run lifecycle: bounded worker slot (cancellation-aware
-// acquisition), per-run timeout, metrics. Panic isolation lives one level
-// up, in rescache.Store.Do, which owns the compute goroutine.
+// gatedRun is the run lifecycle: admission control (bounded wait queue with
+// fast shedding), cancellation-aware worker-slot acquisition, per-run
+// timeout, fault injection, and the hard-deadline watchdog. Panic isolation
+// for the simulation itself lives one level up, in rescache.Store.Do, which
+// owns the compute goroutine; the watchdog goroutine here has its own
+// recover so an injected panic surfaces as an error either way.
 func (s *Server) gatedRun(ctx context.Context, opts workload.Options) (*workload.Stats, error) {
+	// Admission control: take a free worker slot if one exists; otherwise
+	// wait only while the bounded queue has room, and past that shed
+	// immediately — a bounded queue with a fast 429 beats an unbounded one
+	// with unbounded latency.
 	select {
 	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		s.aborted.Add(1)
-		return nil, fmt.Errorf("service: run cancelled while queued: %w", context.Cause(ctx))
+	default:
+		if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+			s.queued.Add(-1)
+			s.shed.Add(1)
+			return nil, fmt.Errorf("service: wait queue full (%d workers busy, %d queued): %w",
+				s.cfg.Workers, s.cfg.MaxQueue, errOverloaded)
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			s.aborted.Add(1)
+			return nil, fmt.Errorf("service: run cancelled while queued: %w", context.Cause(ctx))
+		}
 	}
 	defer func() { <-s.sem }()
+
 	if s.cfg.RunTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeoutCause(ctx, s.cfg.RunTimeout, fmt.Errorf("service: run exceeded %v", s.cfg.RunTimeout))
 		defer cancel()
 	}
+	// The run gets its own cancellable context so the watchdog can abort a
+	// cooperative run it is abandoning.
+	runCtx, cancelRun := context.WithCancelCause(ctx)
+	defer cancelRun(nil)
+
 	run := workload.RunContext
 	if s.runHook != nil {
 		run = s.runHook
 	}
+	inj := s.cfg.Faults
 	s.inflight.Add(1)
 	s.runs.Add(1)
 	begin := time.Now()
-	st, err := run(ctx, opts)
-	s.inflight.Add(-1)
-	s.latMu.Lock()
-	s.latSum += time.Since(begin).Seconds()
-	s.latCount++
-	s.latMu.Unlock()
-	if err != nil {
-		s.runErrs.Add(1)
-		if ctx.Err() != nil {
-			s.aborted.Add(1)
-		}
+
+	type result struct {
+		st  *workload.Stats
+		err error
 	}
-	return st, err
+	resc := make(chan result, 1)
+	go func() {
+		var r result
+		defer func() {
+			s.inflight.Add(-1)
+			s.latMu.Lock()
+			s.latSum += time.Since(begin).Seconds()
+			s.latCount++
+			s.latMu.Unlock()
+			if p := recover(); p != nil {
+				r = result{err: fmt.Errorf("service: run: %w: %v", rescache.ErrPanicked, p)}
+			}
+			resc <- r
+		}()
+		if inj.Hit(fault.ComputePanic) {
+			panic(fmt.Errorf("%w: compute panic", fault.ErrInjected))
+		}
+		if inj.Hit(fault.ComputeHang) {
+			// A wedged simulation: ignores cancellation entirely. Unblocked
+			// only by server Close so the goroutine does not outlive tests.
+			<-s.base.Done()
+			r = result{err: fmt.Errorf("service: hung run released by shutdown: %w", errShutdown)}
+			return
+		}
+		if inj != nil {
+			opts.SimFault = s.simFault
+		}
+		st, err := run(runCtx, opts)
+		r = result{st: st, err: err}
+	}()
+
+	var watchdog <-chan time.Time
+	if s.cfg.HardDeadline > 0 {
+		t := time.NewTimer(s.cfg.HardDeadline)
+		defer t.Stop()
+		watchdog = t.C
+	}
+	select {
+	case r := <-resc:
+		if r.err != nil {
+			s.runErrs.Add(1)
+			if ctx.Err() != nil {
+				s.aborted.Add(1)
+			}
+		}
+		return r.st, r.err
+	case <-watchdog:
+		// The run blew through even the hard deadline: the quantum-boundary
+		// interrupt never fired (wedged scheduler, hung hook). Abandon it —
+		// reclaim the worker slot now, cancel what can be cancelled, and
+		// account for the zombie until it actually exits.
+		s.wdKills.Add(1)
+		s.runErrs.Add(1)
+		s.hung.Add(1)
+		cancelRun(errWatchdog)
+		go func() {
+			<-resc
+			s.hung.Add(-1)
+		}()
+		return nil, fmt.Errorf("service: run exceeded hard deadline %v: %w", s.cfg.HardDeadline, errWatchdog)
+	}
+}
+
+// simFault is the quantum-boundary hook handed to the simulation kernel
+// when fault injection is armed: SimStall sleeps wall-clock time mid-run
+// (simulated clocks and results untouched). The hook fires at every quantum
+// boundary — hundreds of times per run — so only per-boundary sites belong
+// here; per-run sites (ComputeHang, ComputePanic) are drawn once in gatedRun,
+// where one probability roll maps to one run.
+func (s *Server) simFault() {
+	inj := s.cfg.Faults
+	if inj.Hit(fault.SimStall) {
+		time.Sleep(inj.StallFor())
+	}
 }
 
 // --- handlers ---
 
+// handleHealthz reports liveness plus the degradation state. The status is
+// "ok" when fully healthy and "degraded" while the result store's disk tier
+// is tripped to memory-only (results still correct, persistence suspended).
+// Always 200: a degraded daemon is serving, not dead.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	cs := s.store.Stats()
+	status := "ok"
+	if cs.Degraded {
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Status   string `json:"status"`
+		Preset   string `json:"preset"`
+		Cache    string `json:"cache_breaker"`
+		Inflight int64  `json:"runs_inflight"`
+		Queued   int64  `json:"runs_queued"`
+		Hung     int64  `json:"runs_abandoned_live"`
+		UptimeS  int64  `json:"uptime_seconds"`
+	}{status, s.cfg.Preset.Name, cs.Breaker, s.inflight.Load(), s.queued.Load(), s.hung.Load(), int64(time.Since(s.start).Seconds())})
 }
 
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
@@ -356,26 +509,74 @@ func (s *Server) respondRaw(w http.ResponseWriter, hit bool, dig rescache.Digest
 	}
 }
 
-// failRun maps run errors to HTTP statuses: cancellations and timeouts are
-// the client's doing or the server's deadline, everything else is a 500.
+// failRun maps run errors to HTTP statuses. Transient conditions — load
+// shedding, watchdog kills, timeouts, shutdown, isolated compute panics —
+// are retriable (the digest was never cached, so the next attempt computes
+// fresh); everything else is a 500.
 func (s *Server) failRun(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, errOverloaded):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, errWatchdog), errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled), errors.Is(err, errShutdown):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, rescache.ErrPanicked):
+		// Isolated and not cached; a retry gets a clean run.
 		status = http.StatusServiceUnavailable
 	}
 	s.fail(w, status, err)
 }
 
+// retriable statuses are the ones internal/client retries: the request was
+// well-formed and a later identical attempt can succeed.
+func retriableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfterSeconds estimates when capacity frees up: mean run latency
+// scaled by queue pressure, clamped to [1s, 60s].
+func (s *Server) retryAfterSeconds() int {
+	s.latMu.Lock()
+	latSum, latCount := s.latSum, s.latCount
+	s.latMu.Unlock()
+	mean := 1.0
+	if latCount > 0 {
+		mean = latSum / float64(latCount)
+	}
+	est := int(mean*float64(s.queued.Load()+1)/float64(s.cfg.Workers)) + 1
+	if est < 1 {
+		est = 1
+	}
+	if est > 60 {
+		est = 60
+	}
+	return est
+}
+
+// fail writes the structured error body every non-200 response carries:
+// {"error": ..., "retriable": bool, "status": N}. Retriable responses also
+// carry Retry-After, which internal/client honours.
 func (s *Server) fail(w http.ResponseWriter, status int, err error) {
 	s.reqErrors.Add(1)
-	w.Header().Set("Content-Type", "application/json")
+	retriable := retriableStatus(status)
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if retriable {
+		h.Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(struct {
-		Error string `json:"error"`
-	}{err.Error()})
+		Error     string `json:"error"`
+		Retriable bool   `json:"retriable"`
+		Status    int    `json:"status"`
+	}{err.Error(), retriable, status})
 }
 
 // --- parameter parsing ---

@@ -126,6 +126,11 @@ func (o *OS) Run() error { return o.kernel.Run() }
 // (any goroutine, any time); see sim.Kernel.Interrupt.
 func (o *OS) Interrupt(cause error) { o.kernel.Interrupt(cause) }
 
+// SetFaultHook installs a scheduler-level fault-injection hook, invoked at
+// every quantum boundary; see sim.Kernel.FaultHook. Must be called before
+// Run.
+func (o *OS) SetFaultHook(h func()) { o.kernel.FaultHook = h }
+
 // Processes returns the spawned processes.
 func (o *OS) Processes() []*Process { return o.procs }
 

@@ -60,6 +60,13 @@ type Options struct {
 	// run's CPU count and clock; observation is passive and does not
 	// perturb counters or timing.
 	Obs *obs.Observer
+	// SimFault, when non-nil, is installed as the simulation kernel's
+	// quantum-boundary fault hook (sim.Kernel.FaultHook): the chaos layer
+	// injects wall-clock stalls and hangs through it. Like Obs it never
+	// perturbs simulated results, and like Obs and Data it carries no run
+	// identity — it is excluded from the cache digest and cleared by
+	// experiments.Env.CanonicalOptions.
+	SimFault func()
 }
 
 // ProcStats is one process's measured region.
@@ -170,6 +177,9 @@ func run(ctx context.Context, opts Options) (*Stats, error) {
 		opts.Obs.Bind(spec.CPUs, spec.ClockMHz)
 		m.Observe(opts.Obs)
 		osys.Observe(opts.Obs)
+	}
+	if opts.SimFault != nil {
+		osys.SetFaultHook(opts.SimFault)
 	}
 
 	queryOf := func(i int) tpch.QueryID {

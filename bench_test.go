@@ -237,6 +237,52 @@ func BenchmarkSimKernelHandoff(b *testing.B) {
 	}
 }
 
+// BenchmarkSimKernelHandoff8 is the 8-process variant: the scheduler pick is
+// a linear (clock, ID) min-scan over the runnable set, so the per-handoff
+// cost must stay flat in the process count (the previous implementation
+// re-sorted the whole set on every handoff).
+func BenchmarkSimKernelHandoff8(b *testing.B) {
+	k := sim.NewKernel(1)
+	n := b.N
+	for p := 0; p < 8; p++ {
+		k.Spawn(func(pr *sim.Proc) {
+			for i := 0; i < n/8+1; i++ {
+				pr.Advance(1)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSingleRun8 measures the 8-process configuration (the paper's most
+// contended point) under the serial scheduler; BenchmarkSingleRun8Parallel is
+// the same work under bound–weave. Their ratio is the in-simulation parallel
+// speedup at the host's GOMAXPROCS — compare with GOMAXPROCS=1 to isolate
+// the mode's coordination overhead from real parallelism.
+func BenchmarkSingleRun8(b *testing.B)         { benchSingleRun8(b, false) }
+func BenchmarkSingleRun8Parallel(b *testing.B) { benchSingleRun8(b, true) }
+
+func benchSingleRun8(b *testing.B, parallel bool) {
+	data := smallData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := workload.RunUnchecked(workload.Options{
+			Spec:        machine.OriginSpec(32, 64),
+			Data:        data,
+			Query:       tpch.Q6,
+			Processes:   8,
+			OSTimeScale: 64,
+			Parallel:    parallel,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTPCHGenerate measures data generation.
 func BenchmarkTPCHGenerate(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,238 @@
+// Command benchcmp compares two `go test -bench` output files and fails when
+// the new run regresses past a tolerance — a dependency-free stand-in for
+// benchstat, sized for CI gating rather than statistics.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... > new.txt
+//	benchcmp [-tol 0.10] [-json out.json] [-note text] old.txt new.txt
+//
+// Multiple samples of the same benchmark (e.g. -count 3) are reduced to
+// their minimum ns/op (the least-noise estimate) and maximum allocs/op (the
+// conservative one). Benchmarks present in only one file are reported but
+// never fail the comparison, so the baseline does not need regenerating when
+// a benchmark is added. Exit status 1 means at least one benchmark regressed
+// in ns/op or allocs/op by more than the tolerance.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type sample struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	BytesOp  float64 `json:"bytes_op"`
+	haveNs   bool
+	haveAl   bool
+}
+
+type comparison struct {
+	Name     string  `json:"name"`
+	Old      *sample `json:"old,omitempty"`
+	New      *sample `json:"new,omitempty"`
+	Speedup  float64 `json:"speedup,omitempty"`     // old ns / new ns
+	AllocCut float64 `json:"alloc_ratio,omitempty"` // new allocs / old allocs
+	Regressed,
+	regressNs, regressAllocs bool
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.10, "relative regression tolerance for ns/op and allocs/op")
+	jsonOut := flag.String("json", "", "write the comparison as JSON to this file ('-' = stdout)")
+	note := flag.String("note", "", "free-form note recorded in the JSON document")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-tol F] [-json out] old.txt new.txt")
+		os.Exit(2)
+	}
+	old, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make(map[string]bool)
+	for n := range old {
+		names[n] = true
+	}
+	for n := range cur {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	var rows []comparison
+	failed := false
+	for _, n := range sorted {
+		c := comparison{Name: n, Old: old[n], New: cur[n]}
+		if c.Old != nil && c.New != nil {
+			if c.Old.haveNs && c.New.haveNs && c.New.NsOp > 0 {
+				c.Speedup = c.Old.NsOp / c.New.NsOp
+				c.regressNs = c.New.NsOp > c.Old.NsOp*(1+*tol)
+			}
+			if c.Old.haveAl && c.New.haveAl && c.Old.AllocsOp > 0 {
+				c.AllocCut = c.New.AllocsOp / c.Old.AllocsOp
+				c.regressAllocs = c.New.AllocsOp > c.Old.AllocsOp*(1+*tol)
+			}
+			c.Regressed = c.regressNs || c.regressAllocs
+			failed = failed || c.Regressed
+		}
+		rows = append(rows, c)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "%-36s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "allocs")
+	for _, c := range rows {
+		switch {
+		case c.Old == nil:
+			fmt.Fprintf(w, "%-36s %14s %14.0f %9s %9s  (new)\n", c.Name, "-", c.New.NsOp, "-", "-")
+		case c.New == nil:
+			fmt.Fprintf(w, "%-36s %14.0f %14s %9s %9s  (removed)\n", c.Name, c.Old.NsOp, "-", "-", "-")
+		default:
+			mark := ""
+			if c.Regressed {
+				mark = "  REGRESSED"
+				if c.regressAllocs {
+					mark += " (allocs)"
+				}
+			}
+			alloc := "-"
+			if c.AllocCut > 0 {
+				alloc = fmt.Sprintf("%.3fx", c.AllocCut)
+			}
+			fmt.Fprintf(w, "%-36s %14.0f %14.0f %8.2fx %9s%s\n", c.Name, c.Old.NsOp, c.New.NsOp, c.Speedup, alloc, mark)
+		}
+	}
+	w.Flush()
+
+	if *jsonOut != "" {
+		doc := struct {
+			Tolerance  float64      `json:"tolerance"`
+			Note       string       `json:"note,omitempty"`
+			Regressed  bool         `json:"regressed"`
+			Benchmarks []comparison `json:"benchmarks"`
+		}{*tol, *note, failed, rows}
+		out, err := json.MarshalIndent(&doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*jsonOut, out, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcmp: regression beyond %.0f%% tolerance\n", *tol*100)
+		os.Exit(1)
+	}
+}
+
+// MarshalJSON keeps the exported regression verdict while hiding the
+// per-metric flags.
+func (c comparison) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Name      string  `json:"name"`
+		Old       *sample `json:"old,omitempty"`
+		New       *sample `json:"new,omitempty"`
+		Speedup   float64 `json:"speedup,omitempty"`
+		AllocCut  float64 `json:"alloc_ratio,omitempty"`
+		Regressed bool    `json:"regressed"`
+	}
+	return json.Marshal(alias{c.Name, c.Old, c.New, c.Speedup, c.AllocCut, c.Regressed})
+}
+
+func parseFile(path string) (map[string]*sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*sample)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, s, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		prev, seen := out[name]
+		if !seen {
+			cp := s
+			out[name] = &cp
+			continue
+		}
+		// Reduce repeated samples: min time, max allocations.
+		if s.haveNs && (!prev.haveNs || s.NsOp < prev.NsOp) {
+			prev.NsOp, prev.haveNs = s.NsOp, true
+		}
+		if s.haveAl && (!prev.haveAl || s.AllocsOp > prev.AllocsOp) {
+			prev.AllocsOp, prev.haveAl = s.AllocsOp, true
+			prev.BytesOp = s.BytesOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchcmp: no benchmark lines in %s", path)
+	}
+	return out, nil
+}
+
+// parseLine extracts one testing.B output line:
+//
+//	BenchmarkName-8   12  12345 ns/op  17 extra-metric  64 B/op  3 allocs/op
+//
+// Value/unit pairs follow the iteration count; unknown units are ignored.
+// The -N GOMAXPROCS suffix is stripped so runs from different hosts compare.
+func parseLine(line string) (string, sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", sample{}, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", sample{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var s sample
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", sample{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.NsOp, s.haveNs = v, true
+		case "allocs/op":
+			s.AllocsOp, s.haveAl = v, true
+		case "B/op":
+			s.BytesOp = v
+		}
+	}
+	return name, s, s.haveNs || s.haveAl
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

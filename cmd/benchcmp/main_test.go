@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, s, ok := parseLine("BenchmarkFig5-8   3  3247131416 ns/op  1333661 sgi-cyc/Minstr@8p  373589637 B/op  5546857 allocs/op")
+	if !ok || name != "BenchmarkFig5" {
+		t.Fatalf("ok=%v name=%q", ok, name)
+	}
+	if s.NsOp != 3247131416 || s.AllocsOp != 5546857 || s.BytesOp != 373589637 {
+		t.Fatalf("sample = %+v", s)
+	}
+	if _, _, ok := parseLine("ok  \tdssmem\t32.8s"); ok {
+		t.Fatal("non-benchmark line accepted")
+	}
+	if _, _, ok := parseLine("BenchmarkX broken line"); ok {
+		t.Fatal("malformed line accepted")
+	}
+	// Plain name without GOMAXPROCS suffix, time only.
+	name, s, ok = parseLine("BenchmarkCacheLookup \t 100 \t 52.0 ns/op")
+	if !ok || name != "BenchmarkCacheLookup" || s.NsOp != 52 || s.haveAl {
+		t.Fatalf("ok=%v name=%q sample=%+v", ok, name, s)
+	}
+}
+
+func TestRegressionDetection(t *testing.T) {
+	old := sample{NsOp: 100, AllocsOp: 10, haveNs: true, haveAl: true}
+	fresh := sample{NsOp: 125, AllocsOp: 10, haveNs: true, haveAl: true}
+	c := comparison{Old: &old, New: &fresh}
+	c.regressNs = fresh.NsOp > old.NsOp*1.10
+	if !c.regressNs {
+		t.Fatal("25% slowdown not flagged at 10% tolerance")
+	}
+	within := sample{NsOp: 105, AllocsOp: 10, haveNs: true, haveAl: true}
+	if within.NsOp > old.NsOp*1.10 {
+		t.Fatal("5% slowdown flagged at 10% tolerance")
+	}
+}

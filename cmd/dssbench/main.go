@@ -44,6 +44,8 @@ func main() {
 	format := flag.String("format", "table", "output format: table, csv or json")
 	jsonOut := flag.String("json", "", "also write a machine-readable benchmark document (figures, ablations, wall/sim timing) to this file ('-' = stdout)")
 	chart := flag.Bool("chart", false, "append terminal sparklines for sweep figures")
+	parallel := flag.Bool("parallel", false, "run simulations in bound–weave parallel mode (deterministic; see DESIGN.md §11). Observed runs stay serial")
+	parWindow := flag.Uint64("parallel-window", 0, "bound–weave window in cycles (0 = scheduling quantum)")
 	list := flag.Bool("list", false, "list available figures and ablations")
 	sample := flag.Uint64("sample", 0, "observed run: sample counters every N simulated cycles")
 	sampleOut := flag.String("sample-out", "", "observed run: write sampled windows to this file (.json = JSON, else CSV)")
@@ -79,6 +81,8 @@ func main() {
 	}
 	start := time.Now()
 	env := dssmem.NewEnv(p)
+	env.Parallel = *parallel
+	env.ParallelWindow = *parWindow
 	if *format == "table" {
 		fmt.Printf("preset %s: SF=%.4f memScale=%d — %d lineitems, %d orders (%.1f MB raw)\n\n",
 			p.Name, p.SF, p.MemScale, len(env.Data.Lineitem), len(env.Data.Orders),

@@ -35,6 +35,8 @@ func main() {
 	sampleOut := flag.String("sample-out", "", "write sampled windows to this file (.json = JSON, else CSV)")
 	events := flag.String("events", "", "write a Chrome trace-event JSON file (open in Perfetto)")
 	byOperator := flag.Bool("by-operator", false, "attribute counters to query-plan operators")
+	parallel := flag.Bool("parallel", false, "run the simulation in bound–weave parallel mode (deterministic; falls back to serial when telemetry flags are set)")
+	parWindow := flag.Uint64("parallel-window", 0, "bound–weave window in cycles (0 = scheduling quantum)")
 	flag.Parse()
 
 	var q dssmem.QueryID
@@ -71,7 +73,7 @@ func main() {
 	ans := dssmem.ReferenceAnswer(q, data)
 	st, err := dssmem.Run(dssmem.RunOptions{
 		Spec: spec, Data: data, Query: q, Processes: *procs, OSTimeScale: *memScale,
-		Obs: ob,
+		Obs: ob, Parallel: *parallel, ParallelWindow: *parWindow,
 	})
 	if err != nil {
 		fatal(err)

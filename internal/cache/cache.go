@@ -152,7 +152,10 @@ func (c *Cache) Lookup(line uint64, write bool) (State, bool) {
 	}
 	set := c.set(line)
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == line {
+		// Tag first: distinct valid lines never share a tag, and a stale tag
+		// on an Invalid way is rejected by the state check, so most ways fail
+		// after a single compare.
+		if set[i].tag == line && set[i].state != Invalid {
 			c.tick++
 			set[i].used = c.tick
 			return set[i].state, true
@@ -199,7 +202,7 @@ place:
 func (c *Cache) SetState(line uint64, st State) {
 	set := c.set(line)
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == line {
+		if set[i].tag == line && set[i].state != Invalid {
 			set[i].state = st
 			return
 		}
@@ -207,11 +210,25 @@ func (c *Cache) SetState(line uint64, st State) {
 	panic(fmt.Sprintf("cache %s: SetState(%#x) on absent line", c.cfg.Name, line))
 }
 
+// MarkModified sets a resident line to Modified without LRU effects and
+// reports whether the line was present. It is the fused form of the
+// StateOf-then-SetState idiom on the write path (one set scan, not two).
+func (c *Cache) MarkModified(line uint64) bool {
+	set := c.set(line)
+	for i := range set {
+		if set[i].tag == line && set[i].state != Invalid {
+			set[i].state = Modified
+			return true
+		}
+	}
+	return false
+}
+
 // StateOf returns the state of line without LRU effects (Invalid if absent).
 func (c *Cache) StateOf(line uint64) State {
 	set := c.set(line)
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == line {
+		if set[i].tag == line && set[i].state != Invalid {
 			return set[i].state
 		}
 	}
@@ -222,7 +239,7 @@ func (c *Cache) StateOf(line uint64) State {
 func (c *Cache) Invalidate(line uint64) State {
 	set := c.set(line)
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == line {
+		if set[i].tag == line && set[i].state != Invalid {
 			st := set[i].state
 			set[i].state = Invalid
 			c.Stats.InvalidationsReceived++
@@ -237,7 +254,7 @@ func (c *Cache) Invalidate(line uint64) State {
 func (c *Cache) Downgrade(line uint64) State {
 	set := c.set(line)
 	for i := range set {
-		if set[i].state != Invalid && set[i].tag == line {
+		if set[i].tag == line && set[i].state != Invalid {
 			st := set[i].state
 			if st == Modified || st == Exclusive {
 				set[i].state = Shared

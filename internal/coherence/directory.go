@@ -162,11 +162,42 @@ type Directory struct {
 	caches    []CoherentCache        // per-CPU hierarchy views
 	lineShift uint
 
-	dense   []entry // lines of the shared region, index = line number
-	sparse  map[uint64]*entry
+	dense   []entry          // lines of the shared region, index = line number
+	sparse  map[uint64]int32 // private-region lines: handle into slab
+	slab    entrySlab
 	Stats   Stats
 	ByCache []PerCache
 	Hooks   Hooks
+}
+
+// entrySlab is a chunked arena of directory entries for the sparse (private)
+// region. Entries are addressed by int32 handles; chunks never move once
+// allocated, so handles stay valid across growth and the per-line heap
+// allocation of the old map[uint64]*entry representation disappears — the
+// only steady-state cost of a new private line is a map insert and, once per
+// slabChunkSize lines, one chunk allocation.
+type entrySlab struct {
+	chunks [][]entry
+}
+
+const (
+	slabChunkBits = 12 // 4096 entries (~256 KB) per chunk
+	slabChunkSize = 1 << slabChunkBits
+)
+
+func (s *entrySlab) alloc() int32 {
+	n := len(s.chunks)
+	if n == 0 || len(s.chunks[n-1]) == slabChunkSize {
+		s.chunks = append(s.chunks, make([]entry, 0, slabChunkSize))
+		n++
+	}
+	c := &s.chunks[n-1]
+	*c = append(*c, entry{})
+	return int32((n-1)<<slabChunkBits | (len(*c) - 1))
+}
+
+func (s *entrySlab) at(i int32) *entry {
+	return &s.chunks[i>>slabChunkBits][i&(slabChunkSize-1)]
 }
 
 // Config assembles a Directory.
@@ -210,7 +241,7 @@ func NewDirectory(cfg Config) *Directory {
 		caches:    cfg.Caches,
 		lineShift: ls,
 		dense:     make([]entry, cfg.SharedLimit>>ls+1),
-		sparse:    make(map[uint64]*entry),
+		sparse:    make(map[uint64]int32),
 		ByCache:   make([]PerCache, len(cfg.Caches)),
 	}
 }
@@ -225,12 +256,30 @@ func (d *Directory) entryFor(line uint64) *entry {
 	if line < uint64(len(d.dense)) {
 		return &d.dense[line]
 	}
-	e := d.sparse[line]
-	if e == nil {
-		e = &entry{}
-		d.sparse[line] = e
+	if i, ok := d.sparse[line]; ok {
+		return d.slab.at(i)
 	}
-	return e
+	i := d.slab.alloc()
+	d.sparse[line] = i
+	return d.slab.at(i)
+}
+
+// zeroEntry is the immutable image of a line the directory has never seen.
+// peek hands it out for unknown lines so read-only paths allocate nothing;
+// it must never be written through.
+var zeroEntry entry
+
+// peek returns the entry for line without creating one. Unlike entryFor it is
+// safe to call concurrently with other readers (the parallel bound phase),
+// because it never mutates the sparse index.
+func (d *Directory) peek(line uint64) *entry {
+	if line < uint64(len(d.dense)) {
+		return &d.dense[line]
+	}
+	if i, ok := d.sparse[line]; ok {
+		return d.slab.at(i)
+	}
+	return &zeroEntry
 }
 
 func (d *Directory) homeOf(line uint64) int {

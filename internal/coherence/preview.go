@@ -1,0 +1,126 @@
+package coherence
+
+import "dssmem/internal/cache"
+
+// Preview transactions: the bound phase of the parallel simulator computes
+// each miss's Result against the directory's frozen state — frozen because
+// directory entries, remote caches and memory-server estimators are mutated
+// only during the weave phase, while every process goroutine is parked — and
+// installs the predicted grant immediately, without waiting for other CPUs.
+// The weave phase later replays the logged transaction through the real
+// Read/Write/Upgrade in deterministic (timestamp, CacheID) order, which
+// evolves the shared state and accounts the Stats.
+//
+// Previews differ from the replayed transaction in two deliberate ways, both
+// bounded by the window length (see DESIGN.md §11):
+//
+//   - they judge the owner by the directory's belief (entry.ownerMod) instead
+//     of probing the owner cache's live state, since another CPU's cache is
+//     not frozen state the bound phase may read;
+//   - queueing delay comes from the memory server's estimator as of the last
+//     weave (Server.PredictWait), not from this request's own arrival.
+//
+// Previews never mutate: no entry is created (unknown lines read a shared
+// zero image), no stats are charged, no hooks fire.
+
+// PreviewRead computes the Result Read would produce for cache c on line at
+// time now against frozen directory state.
+func (d *Directory) PreviewRead(c CacheID, line uint64, now uint64) Result {
+	e := d.peek(line)
+	res := Result{Class: d.classify(e, c)}
+	home := d.homeOf(line)
+	rnode := d.nodeOf[c]
+	lat := d.net.Latency(rnode, home) + d.params.DirAccess + d.mem[home].PredictWait()
+	memPath := d.params.MemAccess + d.net.Latency(home, rnode)
+
+	switch e.state {
+	case dirUncached:
+		lat += memPath
+		res.Grant = cache.Exclusive
+		if d.params.NoExclusive {
+			res.Grant = cache.Shared
+		}
+	case dirShared:
+		lat += memPath
+		res.Grant = cache.Shared
+	case dirOwned:
+		o := CacheID(e.owner)
+		if o == c {
+			lat += memPath
+			res.Grant = cache.Exclusive
+			if d.params.NoExclusive {
+				res.Grant = cache.Shared
+			}
+			break
+		}
+		onode := d.nodeOf[o]
+		threeHop := d.net.Latency(home, onode) + d.params.CacheExtract + d.net.Latency(onode, rnode)
+		switch {
+		case e.ownerMod && d.params.Migratory && e.migratory:
+			lat += threeHop
+			res.Grant = cache.Modified
+			res.Dirty3Hop = true
+		case e.ownerMod:
+			lat += threeHop
+			res.Grant = cache.Shared
+			res.Dirty3Hop = true
+		default:
+			if d.params.Speculative {
+				lat += memPath
+			} else {
+				lat += threeHop
+			}
+			res.Grant = cache.Shared
+		}
+	}
+	res.Latency = lat
+	return res
+}
+
+// PreviewWrite computes the Result Write would produce for cache c on line at
+// time now against frozen directory state.
+func (d *Directory) PreviewWrite(c CacheID, line uint64, now uint64) Result {
+	e := d.peek(line)
+	res := Result{Class: d.classify(e, c), Grant: cache.Modified}
+	home := d.homeOf(line)
+	rnode := d.nodeOf[c]
+	lat := d.net.Latency(rnode, home) + d.params.DirAccess + d.mem[home].PredictWait()
+	memPath := d.params.MemAccess + d.net.Latency(home, rnode)
+
+	switch e.state {
+	case dirUncached:
+		lat += memPath
+	case dirShared:
+		lat += memPath + d.params.InvalLatency
+	case dirOwned:
+		o := CacheID(e.owner)
+		if o == c {
+			lat += memPath
+		} else {
+			onode := d.nodeOf[o]
+			lat += d.net.Latency(home, onode) + d.params.CacheExtract + d.net.Latency(onode, rnode)
+			res.Dirty3Hop = e.ownerMod
+		}
+	}
+	res.Latency = lat
+	return res
+}
+
+// PreviewUpgrade computes the Result Upgrade would produce for cache c on
+// line at time now against frozen directory state, including the fallback to
+// a full write miss when the directory no longer lists c as a sharer.
+func (d *Directory) PreviewUpgrade(c CacheID, line uint64, now uint64) Result {
+	e := d.peek(line)
+	bit := uint64(1) << uint(c)
+	if e.state != dirShared || e.sharers&bit == 0 {
+		return d.PreviewWrite(c, line, now)
+	}
+	home := d.homeOf(line)
+	rnode := d.nodeOf[c]
+	lat := d.net.Latency(rnode, home) + d.params.DirAccess + d.mem[home].PredictWait()
+	if e.sharers != bit {
+		lat += d.params.InvalLatency
+	}
+	lat += d.net.Latency(home, rnode) // ack
+	return Result{Latency: lat, Grant: cache.Modified, Class: Capacity}
+}

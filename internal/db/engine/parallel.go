@@ -1,0 +1,81 @@
+package engine
+
+import "dssmem/internal/db/storage"
+
+// Parallel (bound–weave) support. The engine's only shared mutable state on
+// the warm read-only path is the hint-bit record (hintsSet/HintWrites) and
+// the lock stack. In bound–weave mode each process buffers its hint stores in
+// a per-process shard — the visibility decision reads the frozen global map
+// (mutated only at the weave) plus the process's own shard — and the locks
+// switch to their own shard mode (see lock/parallel.go). Weave merges the
+// shards with the earliest store winning, an order-independent reduction, so
+// results do not depend on goroutine scheduling.
+//
+// Because the kernel window is no longer than the hint race window
+// (engine.DefaultHintRaceWindow spans several scheduler quanta), two
+// processes racing past one unhinted tuple in the same window each pay the
+// check-and-store — which is exactly what the serial race-window model
+// charges them.
+//
+// Cold pools are not supported in parallel mode (the first-toucher I/O dedupe
+// is order-dependent); workload falls back to serial for cold runs.
+
+type dbShard struct {
+	hints      map[storage.TID]uint64
+	hintWrites uint64
+	_          [64]byte
+}
+
+type dbPar struct {
+	shards []dbShard
+}
+
+// EnableParallel switches the database — its hint-bit path, buffer-manager
+// spinlock and lock manager — into bound–weave mode for nprocs processes.
+// Call after Open and before the run; Weave must then run at every kernel
+// window boundary.
+func (db *Database) EnableParallel(nprocs int) {
+	if db.resident != nil {
+		panic("engine: parallel mode does not support cold pools")
+	}
+	par := &dbPar{shards: make([]dbShard, nprocs)}
+	for i := range par.shards {
+		par.shards[i].hints = make(map[storage.TID]uint64)
+	}
+	db.par = par
+	db.BufMgrLock.EnableParallel(nprocs)
+	db.LockMgr.EnableParallel(nprocs)
+}
+
+// checkHintsPar is CheckHints' bound-phase tail: called after the tuple
+// hashed into the hinted fraction, with now = the process clock.
+func (s *Session) checkHintsPar(tid storage.TID, now uint64) (setAt uint64, done bool) {
+	db := s.DB
+	sh := &db.par.shards[s.PID]
+	setAt, done = db.hintsSet[tid]
+	if !done {
+		setAt, done = sh.hints[tid]
+	}
+	if !done {
+		sh.hints[tid] = now
+	}
+	return setAt, done
+}
+
+// Weave folds the per-process hint shards into the authoritative map (first
+// store wins) and the write counters, then weaves the lock stack.
+func (db *Database) Weave() {
+	for i := range db.par.shards {
+		sh := &db.par.shards[i]
+		for tid, t := range sh.hints {
+			if prev, ok := db.hintsSet[tid]; !ok || t < prev {
+				db.hintsSet[tid] = t
+			}
+		}
+		clear(sh.hints)
+		db.HintWrites += sh.hintWrites
+		sh.hintWrites = 0
+	}
+	db.BufMgrLock.Weave()
+	db.LockMgr.Weave()
+}

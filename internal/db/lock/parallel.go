@@ -1,0 +1,373 @@
+package lock
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dssmem/internal/memsys"
+)
+
+// Parallel (bound–weave) support. During the bound phase every simulated
+// process runs as its own goroutine, so lock state can no longer be mutated
+// at acquisition time. Instead each process judges contention against the
+// frozen authoritative state (the held flag, owner and window ring as of the
+// last weave — mutated only by Weave, with all processes parked) and records
+// its acquire/release transitions in a per-process shard. Weave then applies
+// all shards' events in deterministic (timestamp, pid) order, rebuilding the
+// authoritative state and the hold-window history the next window's
+// contention checks will see.
+//
+// The fidelity cost is that two processes can hold one spinlock at
+// overlapping simulated times within a single window — their holds only
+// become visible to each other at the next weave. The skew is bounded by the
+// kernel window, the same order of error the windowRing mechanism already
+// absorbs for quantum-batched serial execution (see DESIGN.md §11).
+//
+// LWLock has no parallel mode: nothing on the workload's parallel path uses
+// it (the buffer manager and lock manager are spinlock-based), and its
+// sharer/exclusive state would need the same shard treatment. It remains
+// serial-only.
+
+type spinEvent struct {
+	t       uint64
+	release bool
+}
+
+type spinShard struct {
+	holding   bool
+	events    []spinEvent
+	acquires  uint64
+	contended uint64
+	backoffs  uint64
+	_         [64]byte // keep shards off each other's cache lines
+}
+
+type spinPar struct {
+	shards    []spinShard
+	openStart []uint64 // weave-side: per-pid start of the open hold
+	merged    []mergedSpinEvent
+}
+
+type mergedSpinEvent struct {
+	spinEvent
+	pid int32
+	seq int32
+}
+
+// EnableParallel switches the lock into bound–weave mode for nprocs
+// processes. Call before the run; Weave must then run at every kernel window
+// boundary.
+func (l *SpinLock) EnableParallel(nprocs int) {
+	l.par = &spinPar{
+		shards:    make([]spinShard, nprocs),
+		openStart: make([]uint64, nprocs),
+	}
+}
+
+// tryAcquirePar is the bound-phase test-and-set: the decision reads only
+// frozen authoritative state and the process's own shard.
+func (l *SpinLock) tryAcquirePar(p Proc, pid int) bool {
+	sh := &l.par.shards[pid]
+	p.Load(l.addr, 8) // read the lock word
+	now := p.Now()
+	if (l.held && l.owner != pid) || l.windows.covers(now) {
+		return false
+	}
+	sh.holding = true
+	sh.events = append(sh.events, spinEvent{t: now})
+	p.Store(l.addr, 8) // TAS write: takes the line exclusive
+	return true
+}
+
+// acquirePar mirrors Acquire's spin/back-off loop with shard-local stats.
+func (l *SpinLock) acquirePar(p Proc, pid int) {
+	sh := &l.par.shards[pid]
+	sh.acquires++
+	if l.tryAcquirePar(p, pid) {
+		notifyAcquired(p, l.addr, false)
+		return
+	}
+	sh.contended++
+	spins := 0
+	for {
+		spins++
+		if spins > l.spinLimit() {
+			spins = 0
+			sh.backoffs++
+			p.Backoff()
+		} else {
+			p.Spin()
+		}
+		if l.tryAcquirePar(p, pid) {
+			notifyAcquired(p, l.addr, true)
+			return
+		}
+	}
+}
+
+// releasePar records the release; ownership is tracked in the shard (a hold
+// may span a window boundary, in which case the weave has already published
+// it into the authoritative held/owner fields).
+func (l *SpinLock) releasePar(p Proc, pid int) {
+	sh := &l.par.shards[pid]
+	if !sh.holding {
+		panic(fmt.Sprintf("lock: release by non-holder: addr=%#x pid=%d", l.addr, pid))
+	}
+	sh.holding = false
+	p.Store(l.addr, 8)
+	sh.events = append(sh.events, spinEvent{t: p.Now(), release: true})
+}
+
+// Weave applies the window's logged transitions in (timestamp, pid) order and
+// folds the shard stats into the lock's counters. Overlapping holds from
+// different processes each contribute their own hold window; the last applied
+// transition wins the held/owner fields, which is exactly the bounded skew
+// the window model tolerates.
+func (l *SpinLock) Weave() {
+	par := l.par
+	total := 0
+	for i := range par.shards {
+		total += len(par.shards[i].events)
+	}
+	if total == 0 {
+		return
+	}
+	par.merged = par.merged[:0]
+	for pid := range par.shards {
+		sh := &par.shards[pid]
+		for seq, ev := range sh.events {
+			par.merged = append(par.merged, mergedSpinEvent{spinEvent: ev, pid: int32(pid), seq: int32(seq)})
+		}
+		l.Acquires += sh.acquires
+		l.Contended += sh.contended
+		l.Backoffs += sh.backoffs
+		sh.acquires, sh.contended, sh.backoffs = 0, 0, 0
+		sh.events = sh.events[:0]
+	}
+	sort.Slice(par.merged, func(i, j int) bool {
+		a, b := &par.merged[i], &par.merged[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		return a.seq < b.seq
+	})
+	for i := range par.merged {
+		ev := &par.merged[i]
+		if !ev.release {
+			par.openStart[ev.pid] = ev.t
+			l.held = true
+			l.owner = int(ev.pid)
+			l.acquiredAt = ev.t
+			continue
+		}
+		start := par.openStart[ev.pid]
+		end := ev.t
+		if end <= start {
+			end = start + 1
+		}
+		l.windows.add(start, end)
+		if l.owner == int(ev.pid) {
+			l.held = false
+			l.owner = -1
+		}
+	}
+}
+
+// --- Manager ---
+
+type relEvKind uint8
+
+const (
+	evSharedAcq relEvKind = iota
+	evSharedRel
+	evExAcq
+	evExRel
+)
+
+type relEvent struct {
+	t    uint64
+	row  int64
+	rel  int32
+	kind relEvKind
+}
+
+type mgrShard struct {
+	events           []relEvent
+	relationAcquires uint64
+	rowAcquires      uint64
+	_                [64]byte
+}
+
+type mgrPar struct {
+	mu     sync.RWMutex // guards the entries map's structure (lazy inserts)
+	shards []mgrShard
+	merged []mergedRelEvent
+}
+
+type mergedRelEvent struct {
+	relEvent
+	pid int32
+	seq int32
+}
+
+// EnableParallel switches the manager (and its table spinlock) into
+// bound–weave mode.
+func (m *Manager) EnableParallel(nprocs int) {
+	m.par = &mgrPar{shards: make([]mgrShard, nprocs)}
+	m.mutex.EnableParallel(nprocs)
+}
+
+// entryPar resolves (rel, row) with a lazily created entry whose table
+// address is derived from the key alone — unlike the serial first-touch
+// nextOff allocation, the address must not depend on which process happens to
+// create the entry first.
+func (m *Manager) entryPar(rel int, row int64) *relEntry {
+	k := relKey{rel: rel, row: row}
+	m.par.mu.RLock()
+	e := m.entries[k]
+	m.par.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	m.par.mu.Lock()
+	defer m.par.mu.Unlock()
+	if e = m.entries[k]; e != nil {
+		return e
+	}
+	bucket := (uint64(rel)*31 + uint64(row)) % uint64(m.buckets)
+	slot := ((uint64(rel)*2654435761 + uint64(row)) >> 7) % 4
+	e = &relEntry{addr: m.base + memsys.Addr(bucket*128+slot*32)}
+	m.entries[k] = e
+	return e
+}
+
+// acquireSharedPar is AcquireShared's bound-phase path: the grant decision
+// reads the frozen writer flag and window history; the reader count moves at
+// the weave.
+func (m *Manager) acquireSharedPar(p Proc, pid, rel int) {
+	sh := &m.par.shards[pid]
+	sh.relationAcquires++
+	for {
+		m.mutex.acquirePar(p, pid)
+		e := m.entryPar(rel, -1)
+		p.Load(e.addr, 8)
+		p.Work(30)
+		if !e.writer && !e.exWindows.covers(p.Now()) {
+			sh.events = append(sh.events, relEvent{t: p.Now(), rel: int32(rel), row: -1, kind: evSharedAcq})
+			p.Store(e.addr, 8)
+			p.Store(e.addr+8, 8)
+			m.mutex.releasePar(p, pid)
+			return
+		}
+		m.mutex.releasePar(p, pid)
+		p.Backoff()
+	}
+}
+
+func (m *Manager) releaseSharedPar(p Proc, pid, rel int) {
+	m.mutex.acquirePar(p, pid)
+	e := m.entryPar(rel, -1)
+	p.Load(e.addr, 8)
+	m.par.shards[pid].events = append(m.par.shards[pid].events,
+		relEvent{t: p.Now(), rel: int32(rel), row: -1, kind: evSharedRel})
+	p.Store(e.addr, 8)
+	p.Work(20)
+	m.mutex.releasePar(p, pid)
+}
+
+// acquireExclusivePar mirrors acquireExclusive against frozen state. The
+// reader count it consults lags by up to one window; read-only workloads (the
+// paper's queries) never reach this path.
+func (m *Manager) acquireExclusivePar(p Proc, pid, rel int, row int64) {
+	for {
+		m.mutex.acquirePar(p, pid)
+		e := m.entryPar(rel, row)
+		p.Load(e.addr, 8)
+		p.Work(30)
+		if !e.writer && e.readers == 0 && !e.exWindows.covers(p.Now()) {
+			m.par.shards[pid].events = append(m.par.shards[pid].events,
+				relEvent{t: p.Now(), rel: int32(rel), row: row, kind: evExAcq})
+			p.Store(e.addr, 8)
+			p.Store(e.addr+8, 8)
+			m.mutex.releasePar(p, pid)
+			return
+		}
+		m.mutex.releasePar(p, pid)
+		p.Backoff()
+	}
+}
+
+func (m *Manager) releaseExclusivePar(p Proc, pid, rel int, row int64) {
+	m.mutex.acquirePar(p, pid)
+	e := m.entryPar(rel, row)
+	m.par.shards[pid].events = append(m.par.shards[pid].events,
+		relEvent{t: p.Now(), rel: int32(rel), row: row, kind: evExRel})
+	p.Store(e.addr, 8)
+	p.Work(20)
+	m.mutex.releasePar(p, pid)
+}
+
+// Weave applies the window's relation-lock transitions in (timestamp, pid)
+// order and folds shard stats, then weaves the table spinlock itself.
+func (m *Manager) Weave() {
+	par := m.par
+	total := 0
+	for i := range par.shards {
+		total += len(par.shards[i].events)
+	}
+	if total > 0 {
+		par.merged = par.merged[:0]
+		for pid := range par.shards {
+			sh := &par.shards[pid]
+			for seq, ev := range sh.events {
+				par.merged = append(par.merged, mergedRelEvent{relEvent: ev, pid: int32(pid), seq: int32(seq)})
+			}
+			m.RelationAcquires += sh.relationAcquires
+			m.RowAcquires += sh.rowAcquires
+			sh.relationAcquires, sh.rowAcquires = 0, 0
+			sh.events = sh.events[:0]
+		}
+		sort.Slice(par.merged, func(i, j int) bool {
+			a, b := &par.merged[i], &par.merged[j]
+			if a.t != b.t {
+				return a.t < b.t
+			}
+			if a.pid != b.pid {
+				return a.pid < b.pid
+			}
+			return a.seq < b.seq
+		})
+		for i := range par.merged {
+			ev := &par.merged[i]
+			e := m.entries[relKey{rel: int(ev.rel), row: ev.row}]
+			switch ev.kind {
+			case evSharedAcq:
+				e.readers++
+			case evSharedRel:
+				if e.readers <= 0 {
+					panic("lock: relation release without holders")
+				}
+				e.readers--
+			case evExAcq:
+				e.writer = true
+				e.writerPid = int(ev.pid)
+				e.exTakenAt = ev.t
+			case evExRel:
+				if !e.writer || e.writerPid != int(ev.pid) {
+					panic("lock: exclusive release by non-owner")
+				}
+				e.writer = false
+				end := ev.t
+				if end <= e.exTakenAt {
+					end = e.exTakenAt + 1
+				}
+				e.exWindows.add(e.exTakenAt, end)
+			}
+		}
+	}
+	m.mutex.Weave()
+}

@@ -83,8 +83,18 @@ type Env struct {
 	// per-run timeouts and records metrics; tests inject failures.
 	Runner func(context.Context, workload.Options) (*workload.Stats, error)
 
-	// Parallelism bounds concurrent simulations (each is single-threaded).
+	// Parallelism bounds concurrent simulations (each is single-threaded
+	// in serial mode; bound–weave runs additionally parallelize inside one
+	// simulation).
 	Parallelism int
+
+	// Parallel applies workload bound–weave execution to every measurement
+	// that does not set it explicitly (see workload.Options.Parallel). It
+	// changes the content digests: parallel measurements are cached under
+	// their own identity.
+	Parallel bool
+	// ParallelWindow is the default bound window in cycles (0 = quantum).
+	ParallelWindow uint64
 
 	initMu sync.Mutex // guards lazy Results init
 }
@@ -161,6 +171,10 @@ func (e *Env) CanonicalOptions(q tpch.QueryID, procs int, opts workload.Options)
 	opts.Validate = true
 	if opts.OSTimeScale == 0 {
 		opts.OSTimeScale = e.Preset.MemScale
+	}
+	if e.Parallel && !opts.Parallel {
+		opts.Parallel = true
+		opts.ParallelWindow = e.ParallelWindow
 	}
 	return opts
 }

@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"fmt"
+
 	"dssmem/internal/cache"
 	"dssmem/internal/coherence"
 	"dssmem/internal/memsys"
@@ -18,8 +20,20 @@ type Machine struct {
 	dir  *coherence.Directory
 	ctrs []perfctr.Counters
 
-	// sub-line factor between protocol (outer) lines and L1 lines.
+	// sub-line factor between protocol (outer) lines and L1 lines
+	// (a power of two; outerShift is its log2, used on the hot path).
 	l1PerOuter uint64
+	outerShift uint
+	baseCycles uint64 // per-instruction cycles, uint64(BaseCPI + 0.5)
+	// cpiIntegral lets InstrCycles use integer math when BaseCPI is a whole
+	// number (every shipped spec); n*baseCycles is then exactly
+	// uint64(float64(n)*BaseCPI + 0.5) for any plausible n.
+	cpiIntegral bool
+
+	// par, when non-nil, switches the directory path to the bound–weave
+	// log-and-preview protocol (see parallel.go). The hit fast path is
+	// unaffected: it touches only the CPU's own caches.
+	par *parMachine
 }
 
 // New builds a machine from its spec; it panics on invalid specs (specs are
@@ -40,6 +54,14 @@ func New(spec Spec) *Machine {
 		protoLine = spec.L2.LineSize
 	}
 	m.l1PerOuter = uint64(protoLine / spec.L1.LineSize)
+	for 1<<m.outerShift < m.l1PerOuter {
+		m.outerShift++
+	}
+	if 1<<m.outerShift != m.l1PerOuter {
+		panic(fmt.Sprintf("machine: L2/L1 line ratio %d not a power of two", m.l1PerOuter))
+	}
+	m.baseCycles = uint64(spec.BaseCPI + 0.5)
+	m.cpiIntegral = float64(m.baseCycles) == spec.BaseCPI
 	for i := 0; i < spec.CPUs; i++ {
 		m.l1[i] = cache.New(spec.L1)
 		if spec.L2 != nil {
@@ -112,7 +134,12 @@ func (m *Machine) L2(c int) *cache.Cache {
 // component) and counts them on CPU c.
 func (m *Machine) InstrCycles(c int, n uint64) uint64 {
 	m.ctrs[c].Instructions += n
-	cyc := uint64(float64(n)*m.spec.BaseCPI + 0.5)
+	var cyc uint64
+	if m.cpiIntegral {
+		cyc = n * m.baseCycles
+	} else {
+		cyc = uint64(float64(n)*m.spec.BaseCPI + 0.5)
+	}
 	m.ctrs[c].Cycles += cyc
 	return cyc
 }
@@ -129,7 +156,7 @@ func (m *Machine) Access(c int, addr memsys.Addr, size int, write bool, now uint
 	} else {
 		ct.Loads++
 	}
-	cycles := uint64(m.spec.BaseCPI + 0.5)
+	cycles := m.baseCycles
 	if size <= 0 {
 		size = 1
 	}
@@ -174,7 +201,7 @@ func (m *Machine) accessLine(c int, l1line uint64, write bool, now uint64) uint6
 func (m *Machine) l2Access(c int, l1line uint64, write bool, now uint64) uint64 {
 	ct := &m.ctrs[c]
 	l2 := m.l2[c]
-	outerLine := l1line / m.l1PerOuter
+	outerLine := l1line >> m.outerShift
 	st, hit := l2.Lookup(outerLine, write)
 	if hit {
 		stall := m.spec.L2HitCycles
@@ -217,10 +244,7 @@ func (m *Machine) installL1(c int, l1line uint64, st cache.State) {
 	}
 	if v.State.Dirty() && m.l2 != nil {
 		// Write the dirty sub-block back into the covering L2 line.
-		outer := v.Line / m.l1PerOuter
-		if m.l2[c].StateOf(outer) != cache.Invalid {
-			m.l2[c].SetState(outer, cache.Modified)
-		}
+		m.l2[c].MarkModified(v.Line >> m.outerShift)
 	}
 	if st == cache.Modified {
 		m.markOuterDirty(c, l1line)
@@ -233,10 +257,7 @@ func (m *Machine) markOuterDirty(c int, l1line uint64) {
 	if m.l2 == nil {
 		return
 	}
-	outer := l1line / m.l1PerOuter
-	if m.l2[c].StateOf(outer) != cache.Invalid {
-		m.l2[c].SetState(outer, cache.Modified)
-	}
+	m.l2[c].MarkModified(l1line >> m.outerShift)
 }
 
 // outerMiss handles a miss in the outermost (coherent) cache for single-level
@@ -250,7 +271,16 @@ func (m *Machine) outerMiss(c int, line uint64, write bool, now uint64) uint64 {
 func (m *Machine) outerFetch(c int, line uint64, write bool, now uint64) uint64 {
 	ct := &m.ctrs[c]
 	var r coherence.Result
-	if write {
+	if m.par != nil {
+		cid := coherence.CacheID(c)
+		if write {
+			r = m.dir.PreviewWrite(cid, line, now)
+			m.par.logs[c] = append(m.par.logs[c], dirOp{kind: opWrite, cpu: int16(c), line: line, now: now})
+		} else {
+			r = m.dir.PreviewRead(cid, line, now)
+			m.par.logs[c] = append(m.par.logs[c], dirOp{kind: opRead, cpu: int16(c), line: line, now: now})
+		}
+	} else if write {
 		r = m.dir.Write(coherence.CacheID(c), line, now)
 	} else {
 		r = m.dir.Read(coherence.CacheID(c), line, now)
@@ -272,7 +302,7 @@ func (m *Machine) outerFetch(c int, line uint64, write bool, now uint64) uint64 
 	outer := m.outerCache(c)
 	v := outer.Insert(line, r.Grant)
 	if v.State != cache.Invalid {
-		m.dir.Evict(coherence.CacheID(c), v.Line, v.State.Dirty(), now)
+		m.evict(c, v.Line, v.State.Dirty(), now)
 		if m.l2 != nil {
 			// Inclusion: back-invalidate the L1 sub-blocks of the victim.
 			m.backInvalidateL1(c, v.Line)
@@ -295,7 +325,7 @@ func (m *Machine) upgrade(c int, l1line uint64, now uint64) uint64 {
 		m.l1[c].SetState(l1line, cache.Modified)
 		return stall
 	}
-	outer := l1line / m.l1PerOuter
+	outer := l1line >> m.outerShift
 	stall := m.spec.L2HitCycles
 	if m.l2[c].StateOf(outer) == cache.Shared {
 		stall += m.upgradeOuter(c, outer, now)
@@ -309,7 +339,13 @@ func (m *Machine) upgrade(c int, l1line uint64, now uint64) uint64 {
 // upgradeOuter performs the directory upgrade for the outer cache.
 func (m *Machine) upgradeOuter(c int, outerLine uint64, now uint64) uint64 {
 	ct := &m.ctrs[c]
-	r := m.dir.Upgrade(coherence.CacheID(c), outerLine, now)
+	var r coherence.Result
+	if m.par != nil {
+		r = m.dir.PreviewUpgrade(coherence.CacheID(c), outerLine, now)
+		m.par.logs[c] = append(m.par.logs[c], dirOp{kind: opUpgrade, cpu: int16(c), line: outerLine, now: now})
+	} else {
+		r = m.dir.Upgrade(coherence.CacheID(c), outerLine, now)
+	}
 	ct.Upgrades++
 	ct.MemRequests++
 	ct.MemLatencyCycles += r.Latency
@@ -319,7 +355,7 @@ func (m *Machine) upgradeOuter(c int, outerLine uint64, now uint64) uint64 {
 	} else {
 		v := outer.Insert(outerLine, r.Grant)
 		if v.State != cache.Invalid {
-			m.dir.Evict(coherence.CacheID(c), v.Line, v.State.Dirty(), now)
+			m.evict(c, v.Line, v.State.Dirty(), now)
 			if m.l2 != nil {
 				m.backInvalidateL1(c, v.Line)
 			}
@@ -385,7 +421,7 @@ func (m *Machine) FlushFraction(c int, frac float64, now uint64) {
 	if m.l2 != nil {
 		for _, v := range m.l1[c].FlushFraction(frac) {
 			if v.State.Dirty() {
-				outer := v.Line / m.l1PerOuter
+				outer := v.Line >> m.outerShift
 				if m.l2[c].StateOf(outer) != cache.Invalid {
 					m.l2[c].SetState(outer, cache.Modified)
 				}
@@ -393,7 +429,7 @@ func (m *Machine) FlushFraction(c int, frac float64, now uint64) {
 		}
 	}
 	for _, v := range m.outerCache(c).FlushFraction(frac) {
-		m.dir.Evict(coherence.CacheID(c), v.Line, v.State.Dirty(), now)
+		m.evict(c, v.Line, v.State.Dirty(), now)
 		if m.l2 != nil {
 			m.backInvalidateL1(c, v.Line)
 		}

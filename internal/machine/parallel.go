@@ -1,0 +1,115 @@
+package machine
+
+import (
+	"sort"
+
+	"dssmem/internal/coherence"
+)
+
+// Parallel (bound–weave) support. When EnableParallel is on, the per-CPU
+// access paths stop calling the coherence directory synchronously: cache hits
+// are untouched (they are CPU-private already), and misses compute their
+// latency and grant from the directory's frozen state (coherence.Preview*)
+// while appending the transaction to a per-CPU log. The kernel's weave phase
+// calls WeaveDirectory with every process parked, which replays the logged
+// transactions through the real directory in deterministic (quantum
+// timestamp, CacheID) order — evolving directory entries, remote cache
+// copies, memory-server estimators and protocol Stats deterministically,
+// independent of how the bound-phase goroutines were scheduled.
+
+type dirOpKind uint8
+
+const (
+	opRead dirOpKind = iota
+	opWrite
+	opUpgrade
+	opEvict
+)
+
+type dirOp struct {
+	now   uint64
+	line  uint64
+	cpu   int16
+	kind  dirOpKind
+	dirty bool // opEvict only
+}
+
+type parMachine struct {
+	logs  [][]dirOp // one per CPU, appended only by that CPU's goroutine
+	order []int16   // weave scratch: CPU replay order, reused across windows
+}
+
+// EnableParallel switches the machine's directory path to log-and-preview
+// mode. Call before the run starts; WeaveDirectory must then be invoked at
+// every kernel window boundary (sim.Kernel.AddWeaver).
+func (m *Machine) EnableParallel() {
+	m.par = &parMachine{logs: make([][]dirOp, m.spec.CPUs)}
+}
+
+// Parallel reports whether log-and-preview mode is on.
+func (m *Machine) Parallel() bool { return m.par != nil }
+
+// evict retires an outer-cache victim: directly in serial mode, logged for
+// the weave in parallel mode.
+func (m *Machine) evict(c int, line uint64, dirty bool, now uint64) {
+	if m.par != nil {
+		m.par.logs[c] = append(m.par.logs[c], dirOp{kind: opEvict, cpu: int16(c), line: line, dirty: dirty, now: now})
+		return
+	}
+	m.dir.Evict(coherence.CacheID(c), line, dirty, now)
+}
+
+// WeaveDirectory drains the per-CPU transaction logs and replays them through
+// the real directory in deterministic (quantum timestamp, CacheID) order:
+// whole per-CPU logs are ordered by each log's first timestamp (ties broken
+// by CacheID) and replayed as batches, each batch in the CPU's own issue
+// order. That is exactly the order in which the serial scheduler — which
+// picks the minimum-clock process and runs its whole quantum before the next
+// — would have serviced the same transactions, so the memory-server
+// inter-arrival estimators (interconnect.Server) see the same quantum-batched
+// arrival stream as serial mode. A fully time-sorted merge would interleave
+// the streams, making the servers look N× more loaded than the serial model
+// charges.
+//
+// Results of the replay are not fed back to the requesting CPUs — their
+// counters were charged from the preview — but the replay is what evolves the
+// shared protocol state: directory entries, sharer sets, remote
+// invalidations/downgrades, memory-server queue estimators, and Stats.
+func (m *Machine) WeaveDirectory() {
+	p := m.par
+	p.order = p.order[:0]
+	for c, l := range p.logs {
+		if len(l) > 0 {
+			p.order = append(p.order, int16(c))
+		}
+	}
+	if len(p.order) == 0 {
+		return
+	}
+	sort.Slice(p.order, func(i, j int) bool {
+		a, b := p.order[i], p.order[j]
+		ta, tb := p.logs[a][0].now, p.logs[b][0].now
+		if ta != tb {
+			return ta < tb
+		}
+		return a < b
+	})
+	for _, cpu := range p.order {
+		log := p.logs[cpu]
+		c := coherence.CacheID(cpu)
+		for i := range log {
+			op := &log[i]
+			switch op.kind {
+			case opRead:
+				m.dir.Read(c, op.line, op.now)
+			case opWrite:
+				m.dir.Write(c, op.line, op.now)
+			case opUpgrade:
+				m.dir.Upgrade(c, op.line, op.now)
+			case opEvict:
+				m.dir.Evict(c, op.line, op.dirty, op.now)
+			}
+		}
+		p.logs[cpu] = log[:0]
+	}
+}

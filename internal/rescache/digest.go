@@ -66,6 +66,12 @@ type Request struct {
 	HintBitFraction float64      `json:"hint_bit_fraction"`
 	Trial           int          `json:"trial"`
 	ColdRun         bool         `json:"cold_run"`
+	// Parallel execution is timing-identity-relevant: bound–weave runs are
+	// deterministic but not byte-identical to serial ones, so the mode and
+	// window are part of the address. omitempty keeps every serial request's
+	// digest byte-stable with pre-parallel caches.
+	Parallel       bool   `json:"parallel,omitempty"`
+	ParallelWindow uint64 `json:"parallel_window,omitempty"`
 }
 
 // CanonicalRequest builds the Request for opts run over the dataset generated
@@ -87,6 +93,8 @@ func CanonicalRequest(sf float64, seed uint64, opts workload.Options) Request {
 		HintBitFraction: opts.HintBitFraction,
 		Trial:           opts.Trial,
 		ColdRun:         opts.ColdRun,
+		Parallel:        opts.Parallel,
+		ParallelWindow:  opts.ParallelWindow,
 	}
 	for _, q := range opts.Mix {
 		r.Mix = append(r.Mix, CanonicalString(q.String()))

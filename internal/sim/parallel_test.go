@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBoundWeaveMatchesSerialClocks: compute-only processes (no shared state)
+// must end at exactly the same clocks under both schedulers.
+func TestBoundWeaveMatchesSerialClocks(t *testing.T) {
+	run := func(parallel bool) []Clock {
+		k := NewKernel(100)
+		if parallel {
+			k.EnableBoundWeave(0)
+		}
+		procs := make([]*Proc, 5)
+		for i := range procs {
+			i := i
+			procs[i] = k.Spawn(func(p *Proc) {
+				seed := uint64(i + 1)
+				for j := 0; j < 300; j++ {
+					seed = seed*6364136223846793005 + 1442695040888963407
+					p.Advance(Clock(seed%173 + 1))
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]Clock, len(procs))
+		for i, p := range procs {
+			out[i] = p.Now()
+		}
+		return out
+	}
+	serial, par := run(false), run(true)
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("proc %d: serial clock %d, parallel clock %d", i, serial[i], par[i])
+		}
+	}
+}
+
+// TestBoundWeaveSkewBound: at every weave point all parked live processes lie
+// within one window of each other (or have run past the edge by at most their
+// final Advance), because the scheduler only releases processes whose clock is
+// before min+window.
+func TestBoundWeaveSkewBound(t *testing.T) {
+	const window = 256
+	k := NewKernel(64)
+	k.EnableBoundWeave(window)
+	procs := make([]*Proc, 4)
+	for i := range procs {
+		i := i
+		procs[i] = k.Spawn(func(p *Proc) {
+			step := Clock(3 + 7*i) // unequal speeds
+			for j := 0; j < 500; j++ {
+				p.Advance(step)
+			}
+		})
+	}
+	maxSpread := Clock(0)
+	k.AddWeaver(func() {
+		lo, hi := Clock(1<<62), Clock(0)
+		any := false
+		for _, p := range procs {
+			if p.done {
+				continue
+			}
+			any = true
+			if p.clock < lo {
+				lo = p.clock
+			}
+			if p.clock > hi {
+				hi = p.clock
+			}
+		}
+		if any && hi-lo > maxSpread {
+			maxSpread = hi - lo
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A process released at clock c < end stops at its first advance past end,
+	// so it overshoots by less than one step (< 32 here); the spread of live
+	// clocks is bounded by window + maxStep.
+	if limit := Clock(window + 32); maxSpread > limit {
+		t.Fatalf("live clock spread %d exceeds window bound %d", maxSpread, limit)
+	}
+}
+
+// TestBoundWeaveWeaverSerialized: weavers must run with every process parked
+// — no process body may be executing concurrently with a weaver.
+func TestBoundWeaveWeaverSerialized(t *testing.T) {
+	k := NewKernel(50)
+	k.EnableBoundWeave(0)
+	var inBody atomic.Int32
+	for i := 0; i < 4; i++ {
+		k.Spawn(func(p *Proc) {
+			for j := 0; j < 200; j++ {
+				inBody.Add(1)
+				runtime.Gosched() // invite interleaving bugs to show up
+				inBody.Add(-1)
+				p.Advance(13)
+			}
+		})
+	}
+	weaves := 0
+	k.AddWeaver(func() {
+		weaves++
+		if n := inBody.Load(); n != 0 {
+			t.Errorf("weaver ran with %d process bodies active", n)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if weaves == 0 {
+		t.Fatal("weaver never ran")
+	}
+}
+
+// TestBoundWeaveDeterministicPanic: when several processes panic in the same
+// window, Run must report the (clock, ID)-minimal one regardless of host
+// scheduling. Run many times to give nondeterminism a chance to show.
+func TestBoundWeaveDeterministicPanic(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		k := NewKernel(1000)
+		k.EnableBoundWeave(0)
+		k.Spawn(func(p *Proc) {
+			p.Advance(500)
+			panic("late panic") // clock 500: must lose to the earlier one
+		})
+		k.Spawn(func(p *Proc) {
+			p.Advance(100)
+			panic("early panic") // clock 100: deterministic winner
+		})
+		k.Spawn(func(p *Proc) {
+			for j := 0; j < 100; j++ {
+				p.Advance(10)
+			}
+		})
+		err := k.Run()
+		if err == nil || !strings.Contains(err.Error(), "early panic") {
+			t.Fatalf("trial %d: err = %v, want the clock-100 panic", trial, err)
+		}
+	}
+}
+
+// TestBoundWeaveInterrupt: Interrupt from another goroutine aborts a parallel
+// run at a window boundary with ErrInterrupted.
+func TestBoundWeaveInterrupt(t *testing.T) {
+	k := NewKernel(10)
+	k.EnableBoundWeave(0)
+	started := make(chan struct{})
+	k.Spawn(func(p *Proc) {
+		close(started)
+		for {
+			p.Advance(1)
+		}
+	})
+	go func() {
+		<-started
+		k.Interrupt(errors.New("external stop"))
+	}()
+	err := k.Run()
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if !strings.Contains(err.Error(), "external stop") {
+		t.Fatalf("err = %v, want wrapped cause", err)
+	}
+}
+
+// TestBoundWeaveYieldIsNoop: Yield must not park a process in parallel mode
+// (the window edge is the only scheduling point), so a yield-heavy process
+// still finishes its window in one release.
+func TestBoundWeaveYieldIsNoop(t *testing.T) {
+	k := NewKernel(100)
+	k.EnableBoundWeave(0)
+	p := k.Spawn(func(p *Proc) {
+		for j := 0; j < 50; j++ {
+			p.Yield()
+			p.Advance(2)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Now() != 100 {
+		t.Fatalf("clock = %d, want 100", p.Now())
+	}
+}
+
+// TestEnableBoundWeaveDefaultsToQuantum: window 0 selects the quantum.
+func TestEnableBoundWeaveDefaultsToQuantum(t *testing.T) {
+	k := NewKernel(640)
+	k.EnableBoundWeave(0)
+	if k.Window() != 640 {
+		t.Fatalf("window = %d, want quantum 640", k.Window())
+	}
+	if !k.BoundWeave() {
+		t.Fatal("BoundWeave() = false after enable")
+	}
+}
+
+// TestEnableBoundWeaveAfterRunPanics guards the call-before-Run contract.
+func TestEnableBoundWeaveAfterRunPanics(t *testing.T) {
+	k := NewKernel(10)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableBoundWeave after Run did not panic")
+		}
+	}()
+	k.EnableBoundWeave(5)
+}
+
+// TestBoundWeaveFaultHook: the fault hook keeps firing at window boundaries.
+func TestBoundWeaveFaultHook(t *testing.T) {
+	k := NewKernel(10)
+	k.EnableBoundWeave(0)
+	k.Spawn(func(p *Proc) {
+		for j := 0; j < 100; j++ {
+			p.Advance(5)
+		}
+	})
+	calls := 0
+	k.FaultHook = func() { calls++ }
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("FaultHook never called in bound–weave mode")
+	}
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"encoding/json"
+	"math"
+	"runtime"
+	"testing"
+
+	"dssmem/internal/machine"
+	"dssmem/internal/tpch"
+)
+
+func parOpts(spec machine.Spec, q tpch.QueryID, n int) Options {
+	o := opts(spec, q, n)
+	o.Parallel = true
+	return o
+}
+
+// statsBytes canonicalizes a run's complete Stats (every per-process counter,
+// directory Stats, session stats, regions) for byte-level comparison.
+func statsBytes(t *testing.T, st *Stats) []byte {
+	t.Helper()
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelDeterministic: three bound–weave runs of the same configuration
+// must produce byte-identical Stats, and the result must not depend on
+// GOMAXPROCS — the knob that changes how the bound-phase goroutines are
+// actually scheduled on the host.
+func TestParallelDeterministic(t *testing.T) {
+	o := parOpts(machine.OriginSpec(8, 256), tpch.Q6, 4)
+	var want []byte
+	check := func(label string) {
+		st, err := Run(o)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		got := statsBytes(t, st)
+		if want == nil {
+			want = got
+			return
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%s: stats differ from first run", label)
+		}
+	}
+	check("run 1")
+	check("run 2")
+	check("run 3")
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, n := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(n)
+		check("GOMAXPROCS=" + string(rune('0'+n)))
+	}
+}
+
+// TestParallelDeterministicQ21: the lock-heavy query exercises the spin-lock
+// and lock-manager weave paths; it too must be run-to-run identical.
+func TestParallelDeterministicQ21(t *testing.T) {
+	o := parOpts(machine.VClassSpec(8, 256), tpch.Q21, 4)
+	st1, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(statsBytes(t, st1)) != string(statsBytes(t, st2)) {
+		t.Fatal("Q21 parallel runs differ")
+	}
+}
+
+// TestParallelFidelity: bound–weave is not byte-identical to serial (preview
+// latencies are frozen-state estimates), but at the benchmark (small-preset)
+// scale the figures are generated at it must stay within the documented
+// tolerances of the serial model: miss counts within 2%, latency metrics
+// within 5%.
+//
+// The lock-heavy configuration gets looser tolerances (5% misses, 10%
+// latencies): lock holds that overlap within one bound window serialize only
+// at window granularity, so contention-driven cache-line bouncing — the
+// dominant miss source in those runs — carries the full window skew rather
+// than the per-access skew of the directory path.
+func TestParallelFidelity(t *testing.T) {
+	fidelityData := tpch.Generate(0.006, 7) // small preset: benchmark scale
+	relErr := func(s, p float64) float64 {
+		if s == 0 {
+			return 0
+		}
+		return math.Abs(p-s) / s
+	}
+	for _, tc := range []struct {
+		name    string
+		spec    machine.Spec
+		q       tpch.QueryID
+		procs   int
+		missTol float64
+		latTol  float64
+	}{
+		{"origin-q6-p4", machine.OriginSpec(8, 64), tpch.Q6, 4, 0.02, 0.05},
+		{"origin-q6-p8", machine.OriginSpec(16, 64), tpch.Q6, 8, 0.02, 0.05},
+		{"vclass-q12-p4-locky", machine.VClassSpec(8, 64), tpch.Q12, 4, 0.05, 0.10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func(par bool) Options {
+				return Options{Spec: tc.spec, Data: fidelityData, Query: tc.q,
+					Processes: tc.procs, OSTimeScale: 64, Parallel: par}
+			}
+			sst, err := Run(mk(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pst, err := Run(mk(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, pc := sst.MeanCounters(), pst.MeanCounters()
+			for _, m := range []struct {
+				name string
+				s, p float64
+				tol  float64
+			}{
+				{"L1 misses", float64(sc.L1DMisses), float64(pc.L1DMisses), tc.missTol},
+				{"L2 misses", float64(sc.L2DMisses), float64(pc.L2DMisses), tc.missTol},
+				{"mem latency", sc.AvgMemLatency(), pc.AvgMemLatency(), tc.latTol},
+				{"thread cycles", sst.MeanThreadCycles(), pst.MeanThreadCycles(), tc.latTol},
+				{"CPI", sc.CPI(), pc.CPI(), tc.latTol},
+			} {
+				if e := relErr(m.s, m.p); e > m.tol {
+					t.Errorf("%s: serial %.4g vs parallel %.4g (%.2f%% > %.0f%% tolerance)",
+						m.name, m.s, m.p, 100*e, 100*m.tol)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelAnswersValidated: bound–weave runs still compute correct query
+// answers (Options.Validate compares against the reference evaluator).
+func TestParallelAnswersValidated(t *testing.T) {
+	for _, q := range tpch.AllQueries {
+		o := parOpts(machine.OriginSpec(8, 256), q, 2)
+		o.Validate = true
+		if _, err := Run(o); err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+	}
+}
+
+// TestParallelWindowDigestIdentity: the parallel flags are part of the run's
+// cache identity, exercised here indirectly by checking a custom window also
+// runs and is deterministic.
+func TestParallelCustomWindow(t *testing.T) {
+	o := parOpts(machine.OriginSpec(8, 256), tpch.Q6, 4)
+	o.ParallelWindow = 5000
+	st1, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(statsBytes(t, st1)) != string(statsBytes(t, st2)) {
+		t.Fatal("custom-window runs differ")
+	}
+}

@@ -60,6 +60,18 @@ type Options struct {
 	// run's CPU count and clock; observation is passive and does not
 	// perturb counters or timing.
 	Obs *obs.Observer
+	// Parallel opts into the bound–weave parallel execution mode: processes
+	// run concurrently up to shared window edges, with coherence, lock and
+	// hint-bit interactions applied at deterministic weave points (see
+	// DESIGN.md §11). Results are deterministic and GOMAXPROCS-independent
+	// but not byte-identical to serial runs, so Parallel is part of the
+	// result-cache identity. Runs needing an observer (Obs != nil) or a cold
+	// pool (ColdRun) fall back to serial execution: the observer is a serial
+	// consumer, and cold-pool I/O dedupe is first-toucher-order-dependent.
+	Parallel bool
+	// ParallelWindow is the bound-phase window in cycles (0 = the scheduling
+	// quantum). It bounds the timing skew between concurrent processes.
+	ParallelWindow uint64
 	// SimFault, when non-nil, is installed as the simulation kernel's
 	// quantum-boundary fault hook (sim.Kernel.FaultHook): the chaos layer
 	// injects wall-clock stalls and hangs through it. Like Obs it never
@@ -180,6 +192,13 @@ func run(ctx context.Context, opts Options) (*Stats, error) {
 	}
 	if opts.SimFault != nil {
 		osys.SetFaultHook(opts.SimFault)
+	}
+	if opts.Parallel && opts.Obs == nil && !opts.ColdRun {
+		osys.EnableBoundWeave(sim.Clock(opts.ParallelWindow))
+		m.EnableParallel()
+		db.EnableParallel(opts.Processes)
+		osys.AddWeaver(m.WeaveDirectory)
+		osys.AddWeaver(db.Weave)
 	}
 
 	queryOf := func(i int) tpch.QueryID {

@@ -9,6 +9,7 @@ package dssmem_test
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"dssmem/internal/machine"
 	"dssmem/internal/memsys"
 	"dssmem/internal/oltp"
+	"dssmem/internal/rescache"
 	"dssmem/internal/sim"
 	"dssmem/internal/tpch"
 	"dssmem/internal/trace"
@@ -332,6 +334,28 @@ func BenchmarkTraceCaptureReplay(b *testing.B) {
 		mem := &trace.MachineMem{M: m, CPU: 0}
 		if _, err := trace.Replay(bytes.NewReader(buf.Bytes()), mem); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryDisabled measures the result-cache memory-hit path as
+// the daemon serves it when no request is being tracked (a plain context):
+// the phase hooks in rescache must degrade to one context lookup plus no-op
+// closures, adding zero allocations (the single alloc here is the cache-key
+// concat, which predates telemetry). This is the benchcmp-gated proof that
+// request-scoped telemetry costs ~nothing when it is off.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	store := rescache.NewMemory()
+	dig := rescache.Digest("bench-telemetry-disabled")
+	if err := store.Put(rescache.NSMeasurement, dig, []byte(`{"ok":true}`)); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hit, err := store.Do(ctx, rescache.NSMeasurement, dig, nil); !hit || err != nil {
+			b.Fatalf("want mem hit, got hit=%v err=%v", hit, err)
 		}
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"dssmem"
+	"dssmem/internal/telemetry"
 )
 
 func main() {
@@ -256,6 +257,10 @@ func observedRun(data *dssmem.Data, p dssmem.Preset, query, mach string, procs i
 		Events:         events != "",
 		ByOperator:     byOperator,
 	})
+	// Observed CLI runs get a request ID too, so a trace produced here is
+	// addressable the same way as one produced behind the daemon.
+	reqID := telemetry.NewID()
+	ob.SetRequestID(reqID)
 	st, err := dssmem.Run(dssmem.RunOptions{
 		Spec: spec, Data: data, Query: q, Processes: procs,
 		OSTimeScale: p.MemScale, Obs: ob,
@@ -284,7 +289,7 @@ func observedRun(data *dssmem.Data, p dssmem.Preset, query, mach string, procs i
 		if err := emitFile(events, ob.WriteTrace); err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s (open in Perfetto or chrome://tracing)\n", events)
+		fmt.Printf("trace written to %s (open in Perfetto or chrome://tracing; request id %s)\n", events, reqID)
 	}
 	return nil
 }

@@ -9,6 +9,7 @@
 //	        [-workers N] [-run-timeout D] [-env-parallelism N]
 //	        [-drain-timeout D] [-max-queue N] [-hard-deadline D]
 //	        [-faults SPEC] [-fault-seed N]
+//	        [-log-format json|text] [-debug-addr ADDR]
 //
 // Overload and failure handling (DESIGN.md §10): requests beyond the worker
 // pool wait in a bounded queue (-max-queue); past that they are shed with
@@ -19,6 +20,13 @@
 //
 //	dssmemd -preset tiny -faults 'disk.read.corrupt=0.1,compute.panic=0.05'
 //
+// Telemetry (DESIGN.md §12): every request is assigned an X-Request-ID
+// (inbound IDs are honored), logged as one structured line with per-phase
+// timings, measured into per-endpoint and per-phase histograms on /metrics,
+// and visible live at /debug/requests. -debug-addr opens a second listener
+// with net/http/pprof plus the same /metrics and /debug/requests — keep it
+// private; the main listener never exposes pprof.
+//
 // Endpoints (see internal/service):
 //
 //	curl localhost:8077/v1/figure/2
@@ -26,6 +34,7 @@
 //	curl 'localhost:8077/v1/sweep?machine=vclass&query=Q6'
 //	curl localhost:8077/healthz
 //	curl localhost:8077/metrics
+//	curl localhost:8077/debug/requests
 //
 // The first SIGINT/SIGTERM drains gracefully: new connections are refused,
 // in-flight requests (and their simulations) run to completion, bounded by
@@ -38,8 +47,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -64,11 +74,24 @@ func main() {
 	hardDeadline := flag.Duration("hard-deadline", 0, "watchdog deadline after which a run is abandoned (0 = 2x run-timeout, <0 = none)")
 	faultSpec := flag.String("faults", "", "arm fault injection: 'site=prob,...' (sites: "+strings.Join(siteNames(), " ")+")")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector's RNG")
+	logFormat := flag.String("log-format", "json", "log output format: json or text")
+	debugAddr := flag.String("debug-addr", "", "private debug listener with pprof, /metrics and /debug/requests ('' = off)")
+	recentReqs := flag.Int("recent-requests", 0, "completed requests retained by /debug/requests (0 = default)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dssmemd: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	p, err := dssmem.PresetByName(*preset)
 	if err != nil {
-		log.Fatalf("dssmemd: %v", err)
+		fatal("bad preset", err)
 	}
 
 	cfg := service.Config{
@@ -79,11 +102,13 @@ func main() {
 		EnvParallelism: *envPar,
 		MaxQueue:       *maxQueue,
 		HardDeadline:   *hardDeadline,
+		Log:            logger,
+		RecentRequests: *recentReqs,
 	}
 	if *faultSpec != "" {
 		probs, err := fault.ParseSpec(*faultSpec)
 		if err != nil {
-			log.Fatalf("dssmemd: -faults: %v", err)
+			fatal("-faults", err)
 		}
 		inj := fault.New(*faultSeed)
 		inj.Configure(probs)
@@ -93,17 +118,21 @@ func main() {
 			// sites fire; the store is otherwise identical to the default.
 			store, err := rescache.OpenFS(*cacheDir, fault.FS{Inner: rescache.OSFS{}, Inj: inj})
 			if err != nil {
-				log.Fatalf("dssmemd: %v", err)
+				fatal("opening fault-injecting store", err)
 			}
 			cfg.Store = store
 		}
-		log.Printf("dssmemd: FAULT INJECTION ARMED (seed %d): %s", *faultSeed, inj)
+		logger.Warn("FAULT INJECTION ARMED", "seed", *faultSeed, "spec", inj.String())
 	}
 
-	log.Printf("dssmemd: generating %s dataset (SF=%.4f)", p.Name, p.SF)
+	logger.Info("generating dataset", "preset", p.Name, "sf", p.SF)
 	srv, err := service.New(cfg)
 	if err != nil {
-		log.Fatalf("dssmemd: %v", err)
+		fatal("starting service", err)
+	}
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, srv, logger)
 	}
 
 	httpSrv := &http.Server{
@@ -113,15 +142,15 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("dssmemd: serving preset %s on %s (cache %s)", p.Name, *addr, cacheLabel(*cacheDir))
+	logger.Info("serving", "preset", p.Name, "addr", *addr, "cache", cacheLabel(*cacheDir))
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatalf("dssmemd: %v", err)
+		fatal("listener failed", err)
 	case sig := <-sigc:
-		log.Printf("dssmemd: %v — draining (up to %v; signal again to abort)", sig, *drainTimeout)
+		logger.Info("draining", "signal", sig.String(), "budget", drainTimeout.String())
 	}
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -131,17 +160,49 @@ func main() {
 	select {
 	case err := <-done:
 		if err != nil {
-			log.Printf("dssmemd: drain incomplete: %v — aborting in-flight runs", err)
+			logger.Warn("drain incomplete, aborting in-flight runs", "err", err)
 		}
 	case sig := <-sigc:
-		log.Printf("dssmemd: %v — aborting in-flight runs", sig)
+		logger.Warn("aborting in-flight runs", "signal", sig.String())
 	}
 	srv.Close()
 	httpSrv.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("dssmemd: %v", err)
+		logger.Error("listener error", "err", err)
 	}
-	log.Printf("dssmemd: stopped")
+	logger.Info("stopped")
+}
+
+// newLogger builds the process logger writing to stderr in the chosen
+// format. JSON is the default: one request per line, machine-parseable.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (json|text)", format)
+}
+
+// serveDebug runs the private debug listener: pprof (never on the public
+// mux), plus the same metrics and request inspector the API serves.
+func serveDebug(addr string, srv *service.Server, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/requests", srv.DebugRequests())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		srv.Registry().WriteText(w)
+	})
+	logger.Info("debug listener up", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("debug listener failed", "err", err)
+	}
 }
 
 func siteNames() []string {

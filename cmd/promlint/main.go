@@ -1,0 +1,70 @@
+// Command promlint structurally validates a Prometheus text exposition —
+// the CI gate that keeps dssmemd's /metrics consumable by real scrapers.
+//
+// Usage:
+//
+//	promlint [-require name,name,...] [file]
+//
+// Reads the exposition from file (or stdin when absent or "-"), runs the
+// parser-based lint from internal/telemetry (HELP/TYPE pairing, name and
+// label validity, escaping, duplicate series, histogram completeness), and
+// optionally requires the named families or series to be present. Exits 1
+// with one line per problem on any violation.
+//
+//	curl -s localhost:8077/metrics | promlint -require dssmem_runs_total,dssmem_phase_seconds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dssmem/internal/telemetry"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated families or series that must be present")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if arg := flag.Arg(0); arg != "" && arg != "-" {
+		f, err := os.Open(arg)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in, name = f, arg
+	}
+
+	rep, err := telemetry.Lint(in)
+	if err != nil {
+		fatal(err)
+	}
+	problems := rep.Problems
+	if *require != "" {
+		for _, want := range strings.Split(*require, ",") {
+			want = strings.TrimSpace(want)
+			if want == "" {
+				continue
+			}
+			if !rep.HasFamily(want) && !rep.HasSeries(want) {
+				problems = append(problems, fmt.Sprintf("required metric %s not present", want))
+			}
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %s\n", name, p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %s: ok (%d families)\n", name, len(rep.Families))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "promlint:", err)
+	os.Exit(1)
+}

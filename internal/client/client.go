@@ -16,12 +16,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"dssmem/internal/telemetry"
 )
 
 // Config tunes a Client. The zero value of every field has a usable default.
@@ -42,6 +46,9 @@ type Config struct {
 	// default source behavior (still deterministic per seed value: 0 is a
 	// valid seed).
 	Seed int64
+	// Log, when non-nil, receives one warn line per retry (request ID,
+	// attempt, cause) — the client half of making retry storms visible.
+	Log *slog.Logger
 }
 
 // Client issues GET requests against a dssmemd daemon with retries.
@@ -49,16 +56,41 @@ type Config struct {
 type Client struct {
 	cfg Config
 
+	requests atomic.Uint64
+	attempts atomic.Uint64
+	retries  atomic.Uint64
+
 	mu  sync.Mutex
 	rng *rand.Rand
 }
 
+// Stats is a snapshot of the client's attempt accounting: Retries much above
+// zero relative to Requests means the daemon is shedding or failing and this
+// client is part of the storm.
+type Stats struct {
+	Requests uint64 // Get calls issued
+	Attempts uint64 // HTTP attempts sent (>= Requests)
+	Retries  uint64 // attempts beyond the first, across all requests
+}
+
+// Stats returns the attempt counters accumulated so far.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Requests: c.requests.Load(),
+		Attempts: c.attempts.Load(),
+		Retries:  c.retries.Load(),
+	}
+}
+
 // Response is a successful (HTTP 200) daemon reply.
 type Response struct {
-	Status   int
-	Header   http.Header
-	Body     []byte
-	Attempts int // total tries spent, >= 1
+	Status int
+	Header http.Header
+	Body   []byte
+	// RequestID is the server-confirmed X-Request-ID — the join key into the
+	// daemon's logs, /debug/requests and trace files.
+	RequestID string
+	Attempts  int // total tries spent, >= 1
 }
 
 // APIError is a non-200 daemon reply after retries are exhausted (or a
@@ -66,11 +98,15 @@ type Response struct {
 type APIError struct {
 	Status    int
 	Msg       string // server's structured "error" field, or raw body
+	RequestID string // server's X-Request-ID echo, if any
 	Retriable bool
 	Attempts  int
 }
 
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("dssmem: server returned %d after %d attempt(s) (req %s): %s", e.Status, e.Attempts, e.RequestID, e.Msg)
+	}
 	return fmt.Sprintf("dssmem: server returned %d after %d attempt(s): %s", e.Status, e.Attempts, e.Msg)
 }
 
@@ -117,15 +153,27 @@ func (c *Client) Get(ctx context.Context, path string) (*Response, error) {
 		path = "/" + path
 	}
 	url := c.cfg.BaseURL + path
+	// One logical request keeps one ID across all its attempts, so the
+	// daemon's logs show the retries of a request as one thread.
+	id := telemetry.NewID()
+	c.requests.Add(1)
 
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		resp, err := c.once(ctx, url)
+		c.attempts.Add(1)
+		if attempt > 1 {
+			c.retries.Add(1)
+		}
+		resp, err := c.once(ctx, url, id, attempt)
 		if err == nil && resp.StatusCode == http.StatusOK {
 			body, rerr := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			if rerr == nil {
-				return &Response{Status: resp.StatusCode, Header: resp.Header, Body: body, Attempts: attempt}, nil
+				rid := resp.Header.Get("X-Request-ID")
+				if rid == "" {
+					rid = id
+				}
+				return &Response{Status: resp.StatusCode, Header: resp.Header, Body: body, RequestID: rid, Attempts: attempt}, nil
 			}
 			// A truncated 200 body is a transport failure: retry.
 			err = fmt.Errorf("client: reading response body: %w", rerr)
@@ -153,17 +201,22 @@ func (c *Client) Get(ctx context.Context, path string) (*Response, error) {
 		if attempt >= c.cfg.MaxAttempts {
 			return nil, lastErr
 		}
+		if c.cfg.Log != nil {
+			c.cfg.Log.Warn("retrying", "req", id, "attempt", attempt, "path", path, "cause", lastErr.Error())
+		}
 		if err := c.sleep(ctx, attempt, retryAfter); err != nil {
 			return nil, err
 		}
 	}
 }
 
-func (c *Client) once(ctx context.Context, url string) (*http.Response, error) {
+func (c *Client) once(ctx context.Context, url, id string, attempt int) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
+	req.Header.Set("X-Request-ID", id)
+	req.Header.Set("X-Request-Attempt", strconv.Itoa(attempt))
 	return c.cfg.HTTP.Do(req)
 }
 
@@ -171,7 +224,12 @@ func (c *Client) once(ctx context.Context, url string) (*http.Response, error) {
 // {"error":..., "retriable":...}; if the body is not that shape (a proxy's
 // HTML, a truncated write), it falls back to the status-code taxonomy.
 func decodeError(resp *http.Response, attempts int) *APIError {
-	ae := &APIError{Status: resp.StatusCode, Retriable: retriableStatus(resp.StatusCode), Attempts: attempts}
+	ae := &APIError{
+		Status:    resp.StatusCode,
+		RequestID: resp.Header.Get("X-Request-ID"),
+		Retriable: retriableStatus(resp.StatusCode),
+		Attempts:  attempts,
+	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	var eb struct {
 		Error     string `json:"error"`

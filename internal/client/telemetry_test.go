@@ -1,0 +1,92 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRequestIDHeaderStableAcrossAttempts verifies one logical request keeps
+// one X-Request-ID over its retries, with X-Request-Attempt counting up.
+func TestRequestIDHeaderStableAcrossAttempts(t *testing.T) {
+	var mu sync.Mutex
+	var ids, attempts []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ids = append(ids, r.Header.Get("X-Request-ID"))
+		attempts = append(attempts, r.Header.Get("X-Request-Attempt"))
+		n := len(ids)
+		mu.Unlock()
+		if n < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("X-Request-ID", r.Header.Get("X-Request-ID"))
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Get(context.Background(), "/v1/measure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("attempts seen = %d, want 3", len(ids))
+	}
+	if ids[0] == "" || ids[0] != ids[1] || ids[1] != ids[2] {
+		t.Fatalf("X-Request-ID must be stable across attempts: %v", ids)
+	}
+	wantAttempts := []string{"1", "2", "3"}
+	for i, want := range wantAttempts {
+		if attempts[i] != want {
+			t.Fatalf("X-Request-Attempt = %v, want %v", attempts, wantAttempts)
+		}
+	}
+	if resp.RequestID != ids[0] {
+		t.Fatalf("Response.RequestID = %q, want server echo %q", resp.RequestID, ids[0])
+	}
+	if resp.Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3", resp.Attempts)
+	}
+
+	st := c.Stats()
+	if st.Requests != 1 || st.Attempts != 3 || st.Retries != 2 {
+		t.Fatalf("Stats = %+v, want {1 3 2}", st)
+	}
+}
+
+// TestAPIErrorCarriesRequestID verifies the server's ID echo survives into
+// the error a caller logs.
+func TestAPIErrorCarriesRequestID(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-ID", r.Header.Get("X-Request-ID"))
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"bad machine","retriable":false,"status":400}`))
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Get(context.Background(), "/v1/measure?machine=nope")
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *APIError, got %v", err)
+	}
+	if len(ae.RequestID) != 16 {
+		t.Fatalf("APIError.RequestID = %q, want the 16-char minted ID", ae.RequestID)
+	}
+	if got := ae.Error(); !strings.Contains(got, ae.RequestID) {
+		t.Fatalf("error string %q must mention the request ID", got)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dssmem/internal/telemetry"
 )
 
 // Namespaces partition the store by result kind. They appear in disk paths,
@@ -210,9 +212,19 @@ func (s *Store) path(ns string, d Digest) string {
 // verified disk hit is promoted to memory). The returned slice must not be
 // modified.
 func (s *Store) Get(ns string, d Digest) ([]byte, bool) {
+	return s.getCtx(context.Background(), ns, d)
+}
+
+// getCtx is Get charging tier lookup time to the request tracked on ctx (a
+// nil tracked request makes both phase hooks no-ops, so untracked callers —
+// CLI runs, tests — pay only a context lookup).
+func (s *Store) getCtx(ctx context.Context, ns string, d Digest) ([]byte, bool) {
+	q := telemetry.FromContext(ctx)
+	endMem := q.StartPhase(telemetry.PhaseCacheMem)
 	s.mu.Lock()
 	v, ok := s.mem[key(ns, d)]
 	s.mu.Unlock()
+	endMem()
 	if ok {
 		s.memHits.Add(1)
 		return v, true
@@ -220,7 +232,9 @@ func (s *Store) Get(ns string, d Digest) ([]byte, bool) {
 	if s.dir == "" || !validNS.MatchString(ns) {
 		return nil, false
 	}
+	endDisk := q.StartPhase(telemetry.PhaseCacheDisk)
 	b, err := s.diskGet(ns, d)
+	endDisk()
 	if err != nil {
 		return nil, false
 	}
@@ -341,7 +355,7 @@ func (s *Store) putFailed(err error) error {
 //     compute result (if it still finishes) is cached for future callers;
 //   - failed computes are not cached — the next request retries.
 func (s *Store) Do(ctx context.Context, ns string, d Digest, compute func(context.Context) ([]byte, error)) (v []byte, hit bool, err error) {
-	if v, ok := s.Get(ns, d); ok {
+	if v, ok := s.getCtx(ctx, ns, d); ok {
 		return v, true, nil
 	}
 	k := key(ns, d)
@@ -355,7 +369,16 @@ func (s *Store) Do(ctx context.Context, ns string, d Digest, compute func(contex
 	}
 	f := s.flights[k]
 	if f == nil {
-		runCtx, cancel := context.WithCancelCause(context.Background())
+		// The flight's context is deliberately not derived from ctx (its
+		// lifetime is last-waiter-cancels, not first-caller), but it does
+		// carry the starting caller's tracked request so the compute layers
+		// charge their phases somewhere: the request that caused the compute.
+		// Joiners share the result without being charged.
+		base := context.Background()
+		if q := telemetry.FromContext(ctx); q != nil {
+			base = telemetry.NewContext(base, q)
+		}
+		runCtx, cancel := context.WithCancelCause(base)
 		f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
 		s.flights[k] = f
 		s.mu.Unlock()

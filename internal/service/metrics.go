@@ -1,99 +1,88 @@
 package service
 
 import (
-	"fmt"
 	"net/http"
 	"time"
+
+	"dssmem/internal/telemetry"
 )
 
-// handleMetrics renders the daemon's counters in the Prometheus text
-// exposition format. Written by hand — the repository takes no dependency on
-// a metrics library; the format is four lines of convention.
+// initMetrics builds the server's metric families on one registry — the
+// single snapshot source for /metrics. Rescache counters are polled from the
+// store at scrape time (the store's atomics stay authoritative; no double
+// accounting); service counters live directly in the registry. Every family
+// name predates the registry and must stay stable — the name-compat test
+// pins the list.
+func (s *Server) initMetrics() {
+	r := telemetry.NewRegistry()
+	s.reg = r
+
+	r.PollCounter("dssmem_cache_hits_total", "Results served without simulation, by tier.",
+		[]string{"tier"}, func(emit func(float64, ...string)) {
+			cs := s.store.Stats()
+			emit(float64(cs.MemHits), "mem")
+			emit(float64(cs.DiskHits), "disk")
+		})
+	pollStore := func(name, help string, field func() uint64) {
+		r.PollCounter(name, help, nil, func(emit func(float64, ...string)) {
+			emit(float64(field()))
+		})
+	}
+	pollStore("dssmem_cache_misses_total", "Requests that required a compute.",
+		func() uint64 { return s.store.Stats().Misses })
+	pollStore("dssmem_singleflight_shared_total", "Requests that joined an identical in-flight compute.",
+		func() uint64 { return s.store.Stats().Shared })
+	pollStore("dssmem_cache_puts_total", "Results stored into the cache.",
+		func() uint64 { return s.store.Stats().Puts })
+	pollStore("dssmem_cache_aborted_total", "Computes cancelled because every waiter left.",
+		func() uint64 { return s.store.Stats().Aborted })
+	pollStore("dssmem_cache_panics_total", "Computes that panicked (isolated).",
+		func() uint64 { return s.store.Stats().Panics })
+	pollStore("dssmem_cache_disk_errors_total", "Disk tier I/O failures (feed the circuit breaker).",
+		func() uint64 { return s.store.Stats().DiskErrors })
+	pollStore("dssmem_cache_corrupt_total", "Disk entries that failed checksum verification.",
+		func() uint64 { return s.store.Stats().Corrupt })
+	pollStore("dssmem_cache_quarantined_total", "Corrupt entries moved to quarantine.",
+		func() uint64 { return s.store.Stats().Quarantined })
+	pollStore("dssmem_cache_disk_skipped_total", "Disk operations bypassed in degraded (memory-only) mode.",
+		func() uint64 { return s.store.Stats().DiskSkipped })
+	r.PollGauge("dssmem_cache_breaker_state", "Disk circuit breaker: 0 closed, 1 half-open, 2 open.",
+		nil, func(emit func(float64, ...string)) {
+			emit(float64(breakerGauge(s.store.Stats().Breaker)))
+		})
+	pollStore("dssmem_cache_breaker_trips_total", "Breaker transitions into the open state.",
+		func() uint64 { return s.store.Stats().BreakerTrips })
+	pollStore("dssmem_cache_orphans_swept_total", "Crash-orphaned temp files removed at startup.",
+		func() uint64 { return s.store.Stats().OrphansSwept })
+
+	s.runs = r.Counter("dssmem_runs_total", "Simulations started by the worker pool.")
+	s.inflight = r.Gauge("dssmem_runs_inflight", "Simulations currently executing.")
+	s.runErrs = r.Counter("dssmem_run_errors_total", "Simulations that returned an error (including aborts).")
+	s.aborted = r.Counter("dssmem_run_aborts_total", "Simulations aborted by cancellation or timeout.")
+	s.queued = r.Gauge("dssmem_runs_queued", "Runs waiting for a worker slot.")
+	s.shed = r.Counter("dssmem_runs_shed_total", "Runs rejected by admission control (429).")
+	s.wdKills = r.Counter("dssmem_watchdog_kills_total", "Runs abandoned by the hard-deadline watchdog.")
+	s.hung = r.Gauge("dssmem_runs_abandoned_live", "Abandoned runs that have not exited yet.")
+	s.runSeconds = r.Histogram("dssmem_run_seconds", "Wall-clock simulation time.", nil)
+
+	s.reqTotal = r.Counter("dssmem_requests_total", "API requests handled.")
+	s.reqErrors = r.Counter("dssmem_request_errors_total", "API requests that failed.")
+	s.retries = r.Counter("dssmem_request_retries_total", "Requests arriving as a retry (X-Request-Attempt > 1).")
+	s.reqSeconds = r.HistogramVec("dssmem_request_seconds", "End-to-end API request latency.", nil, "endpoint")
+	s.phaseSeconds = r.HistogramVec("dssmem_phase_seconds",
+		"Request time by phase: queue, cache_mem, cache_disk, compute, encode.", nil, "phase")
+	r.PollGauge("dssmem_uptime_seconds", "Seconds since the daemon started.",
+		nil, func(emit func(float64, ...string)) {
+			emit(time.Since(s.start).Seconds())
+		})
+}
+
+// handleMetrics renders the registry in the Prometheus text exposition
+// format. The repository still takes no dependency on a metrics library —
+// the registry is internal/telemetry.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	cs := s.store.Stats()
-	s.latMu.Lock()
-	latSum, latCount := s.latSum, s.latCount
-	s.latMu.Unlock()
-
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
-
-	p("# HELP dssmem_cache_hits_total Results served without simulation, by tier.")
-	p("# TYPE dssmem_cache_hits_total counter")
-	p("dssmem_cache_hits_total{tier=\"mem\"} %d", cs.MemHits)
-	p("dssmem_cache_hits_total{tier=\"disk\"} %d", cs.DiskHits)
-	p("# HELP dssmem_cache_misses_total Requests that required a compute.")
-	p("# TYPE dssmem_cache_misses_total counter")
-	p("dssmem_cache_misses_total %d", cs.Misses)
-	p("# HELP dssmem_singleflight_shared_total Requests that joined an identical in-flight compute.")
-	p("# TYPE dssmem_singleflight_shared_total counter")
-	p("dssmem_singleflight_shared_total %d", cs.Shared)
-	p("# HELP dssmem_cache_aborted_total Computes cancelled because every waiter left.")
-	p("# TYPE dssmem_cache_aborted_total counter")
-	p("dssmem_cache_aborted_total %d", cs.Aborted)
-	p("# HELP dssmem_cache_panics_total Computes that panicked (isolated).")
-	p("# TYPE dssmem_cache_panics_total counter")
-	p("dssmem_cache_panics_total %d", cs.Panics)
-	p("# HELP dssmem_cache_disk_errors_total Disk tier I/O failures (feed the circuit breaker).")
-	p("# TYPE dssmem_cache_disk_errors_total counter")
-	p("dssmem_cache_disk_errors_total %d", cs.DiskErrors)
-	p("# HELP dssmem_cache_corrupt_total Disk entries that failed checksum verification.")
-	p("# TYPE dssmem_cache_corrupt_total counter")
-	p("dssmem_cache_corrupt_total %d", cs.Corrupt)
-	p("# HELP dssmem_cache_quarantined_total Corrupt entries moved to quarantine.")
-	p("# TYPE dssmem_cache_quarantined_total counter")
-	p("dssmem_cache_quarantined_total %d", cs.Quarantined)
-	p("# HELP dssmem_cache_disk_skipped_total Disk operations bypassed in degraded (memory-only) mode.")
-	p("# TYPE dssmem_cache_disk_skipped_total counter")
-	p("dssmem_cache_disk_skipped_total %d", cs.DiskSkipped)
-	p("# HELP dssmem_cache_breaker_state Disk circuit breaker: 0 closed, 1 half-open, 2 open.")
-	p("# TYPE dssmem_cache_breaker_state gauge")
-	p("dssmem_cache_breaker_state %d", breakerGauge(cs.Breaker))
-	p("# HELP dssmem_cache_breaker_trips_total Breaker transitions into the open state.")
-	p("# TYPE dssmem_cache_breaker_trips_total counter")
-	p("dssmem_cache_breaker_trips_total %d", cs.BreakerTrips)
-	p("# HELP dssmem_cache_orphans_swept_total Crash-orphaned temp files removed at startup.")
-	p("# TYPE dssmem_cache_orphans_swept_total counter")
-	p("dssmem_cache_orphans_swept_total %d", cs.OrphansSwept)
-
-	p("# HELP dssmem_runs_total Simulations started by the worker pool.")
-	p("# TYPE dssmem_runs_total counter")
-	p("dssmem_runs_total %d", s.runs.Load())
-	p("# HELP dssmem_runs_inflight Simulations currently executing.")
-	p("# TYPE dssmem_runs_inflight gauge")
-	p("dssmem_runs_inflight %d", s.inflight.Load())
-	p("# HELP dssmem_run_errors_total Simulations that returned an error (including aborts).")
-	p("# TYPE dssmem_run_errors_total counter")
-	p("dssmem_run_errors_total %d", s.runErrs.Load())
-	p("# HELP dssmem_run_aborts_total Simulations aborted by cancellation or timeout.")
-	p("# TYPE dssmem_run_aborts_total counter")
-	p("dssmem_run_aborts_total %d", s.aborted.Load())
-	p("# HELP dssmem_runs_queued Runs waiting for a worker slot.")
-	p("# TYPE dssmem_runs_queued gauge")
-	p("dssmem_runs_queued %d", s.queued.Load())
-	p("# HELP dssmem_runs_shed_total Runs rejected by admission control (429).")
-	p("# TYPE dssmem_runs_shed_total counter")
-	p("dssmem_runs_shed_total %d", s.shed.Load())
-	p("# HELP dssmem_watchdog_kills_total Runs abandoned by the hard-deadline watchdog.")
-	p("# TYPE dssmem_watchdog_kills_total counter")
-	p("dssmem_watchdog_kills_total %d", s.wdKills.Load())
-	p("# HELP dssmem_runs_abandoned_live Abandoned runs that have not exited yet.")
-	p("# TYPE dssmem_runs_abandoned_live gauge")
-	p("dssmem_runs_abandoned_live %d", s.hung.Load())
-	p("# HELP dssmem_run_seconds Wall-clock simulation time.")
-	p("# TYPE dssmem_run_seconds summary")
-	p("dssmem_run_seconds_sum %g", latSum)
-	p("dssmem_run_seconds_count %d", latCount)
-
-	p("# HELP dssmem_requests_total API requests handled.")
-	p("# TYPE dssmem_requests_total counter")
-	p("dssmem_requests_total %d", s.reqTotal.Load())
-	p("# HELP dssmem_request_errors_total API requests that failed.")
-	p("# TYPE dssmem_request_errors_total counter")
-	p("dssmem_request_errors_total %d", s.reqErrors.Load())
-	p("# HELP dssmem_uptime_seconds Seconds since the daemon started.")
-	p("# TYPE dssmem_uptime_seconds gauge")
-	p("dssmem_uptime_seconds %g", time.Since(s.start).Seconds())
+	s.reg.WriteText(w)
 }
 
 func breakerGauge(state string) int {

@@ -22,12 +22,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"dssmem/internal/core"
@@ -35,6 +34,7 @@ import (
 	"dssmem/internal/fault"
 	"dssmem/internal/machine"
 	"dssmem/internal/rescache"
+	"dssmem/internal/telemetry"
 	"dssmem/internal/tpch"
 	"dssmem/internal/workload"
 )
@@ -72,6 +72,12 @@ type Config struct {
 	// panic/hang, scheduler stalls) for chaos testing. Disk sites are wired
 	// separately, via Store over a fault.FS.
 	Faults *fault.Injector
+	// Log receives one structured line per API request (id, endpoint, status,
+	// per-phase timings). nil disables request logging.
+	Log *slog.Logger
+	// RecentRequests sizes the /debug/requests completed-request ring
+	// (0 = telemetry.DefaultRecent).
+	RecentRequests int
 }
 
 // Server implements the HTTP API. Create with New, expose via Handler.
@@ -88,20 +94,26 @@ type Server struct {
 	base     context.Context
 	baseStop context.CancelCauseFunc
 
-	inflight atomic.Int64
-	queued   atomic.Int64 // runs admitted but not yet holding a worker slot
-	runs     atomic.Uint64
-	runErrs  atomic.Uint64
-	aborted  atomic.Uint64
-	shed     atomic.Uint64 // runs rejected by admission control
-	wdKills  atomic.Uint64 // runs abandoned by the watchdog
-	hung     atomic.Int64  // abandoned runs that have not finished yet
+	// reg owns every counter below: one registry is the single snapshot
+	// mechanism for /metrics (no side ledgers, no torn mixed-source reads).
+	reg     *telemetry.Registry
+	tracker *telemetry.Tracker
 
-	latMu     sync.Mutex
-	latSum    float64
-	latCount  uint64
-	reqTotal  atomic.Uint64
-	reqErrors atomic.Uint64
+	inflight *telemetry.Gauge   // simulations currently executing
+	queued   *telemetry.Gauge   // runs admitted but not yet holding a worker slot
+	runs     *telemetry.Counter // simulations started
+	runErrs  *telemetry.Counter
+	aborted  *telemetry.Counter
+	shed     *telemetry.Counter // runs rejected by admission control
+	wdKills  *telemetry.Counter // runs abandoned by the watchdog
+	hung     *telemetry.Gauge   // abandoned runs that have not finished yet
+
+	reqTotal     *telemetry.Counter
+	reqErrors    *telemetry.Counter
+	retries      *telemetry.Counter // requests arriving with X-Request-Attempt > 1
+	runSeconds   *telemetry.Hist    // wall-clock simulation time
+	reqSeconds   *telemetry.HistVec // end-to-end request latency, by endpoint
+	phaseSeconds *telemetry.HistVec // per-phase time, by phase name
 
 	// runHook replaces the workload runner in tests (nil = workload.RunContext).
 	runHook func(context.Context, workload.Options) (*workload.Stats, error)
@@ -154,12 +166,15 @@ func New(cfg Config) (*Server, error) {
 		base:     base,
 		baseStop: stop,
 	}
+	s.tracker = telemetry.NewTracker(cfg.RecentRequests)
+	s.initMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/measure", s.handleMeasure)
-	s.mux.HandleFunc("GET /v1/figure/{id}", s.handleFigure)
-	s.mux.HandleFunc("GET /v1/sweep", s.handleSweep)
+	s.mux.Handle("GET /debug/requests", s.tracker)
+	s.mux.Handle("GET /v1/measure", s.instrument("/v1/measure", s.handleMeasure))
+	s.mux.Handle("GET /v1/figure/{id}", s.instrument("/v1/figure", s.handleFigure))
+	s.mux.Handle("GET /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	return s, nil
 }
 
@@ -170,6 +185,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Store exposes the result store (metrics, tests).
 func (s *Server) Store() *rescache.Store { return s.store }
+
+// Registry exposes the metrics registry (the debug listener re-serves it).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// DebugRequests exposes the live request inspector (mounted at
+// /debug/requests on the API mux; the debug listener mounts it too).
+func (s *Server) DebugRequests() http.Handler { return s.tracker }
 
 // Close hard-cancels every in-flight run: waiters are released with an error
 // and the underlying simulations abort at their next scheduling quantum.
@@ -185,6 +207,104 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	ctx, cancel := context.WithCancelCause(r.Context())
 	stop := context.AfterFunc(s.base, func() { cancel(context.Cause(s.base)) })
 	return ctx, func() { stop(); cancel(nil) }
+}
+
+// statusWriter captures the status an API handler wrote, for the request log
+// and latency histogram.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps an API handler with request-scoped telemetry: every
+// request gets an ID (the caller's X-Request-ID when well-formed, minted
+// otherwise) that is echoed in the response, attached to the context for the
+// cache/compute layers to charge phases against, tracked by the live
+// inspector, observed into the latency and phase histograms, and emitted as
+// one structured log line.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reqTotal.Inc()
+		id := telemetry.CleanID(r.Header.Get("X-Request-ID"))
+		if id == "" {
+			id = telemetry.NewID()
+		}
+		q := telemetry.NewRequest(id, endpoint)
+		if n, err := strconv.Atoi(r.Header.Get("X-Request-Attempt")); err == nil && n > 1 {
+			q.Attempt = n
+			s.retries.Inc()
+		}
+		w.Header().Set("X-Request-ID", id)
+		s.tracker.Begin(q)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(telemetry.NewContext(r.Context(), q)))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		outcome := "ok"
+		if status >= 400 {
+			outcome = "error"
+		}
+		q.Finish(status, outcome)
+		s.reqSeconds.With(endpoint).Observe(q.Duration().Seconds())
+		for _, ph := range q.Phases() {
+			s.phaseSeconds.With(ph.Name).Observe(ph.Seconds)
+		}
+		s.tracker.End(q)
+		s.logRequest(r, q)
+	})
+}
+
+// logRequest emits the one structured line per request: identity, outcome,
+// and the per-phase decomposition in milliseconds.
+func (s *Server) logRequest(r *http.Request, q *telemetry.Request) {
+	if s.cfg.Log == nil {
+		return
+	}
+	v := q.View()
+	args := []any{
+		"req", v.ID,
+		"endpoint", v.Endpoint,
+		"query", r.URL.RawQuery,
+		"status", v.Status,
+		"outcome", v.Outcome,
+		"duration_ms", v.DurationMS,
+	}
+	if v.Attempt > 1 {
+		args = append(args, "attempt", v.Attempt)
+	}
+	if v.Digest != "" {
+		args = append(args, "digest", v.Digest)
+	}
+	if v.Cache != "" {
+		args = append(args, "cache", v.Cache)
+	}
+	for _, ph := range v.Phases {
+		args = append(args, "phase_"+ph.Name+"_ms", ph.DurationMS)
+	}
+	level := slog.LevelInfo
+	switch {
+	case v.Status >= 500:
+		level = slog.LevelError
+	case v.Status >= 400:
+		level = slog.LevelWarn
+	}
+	s.cfg.Log.Log(r.Context(), level, "request", args...)
 }
 
 // env builds a per-request experiment environment sharing the daemon's data
@@ -208,6 +328,7 @@ func (s *Server) env(ctx context.Context) *experiments.Env {
 // owns the compute goroutine; the watchdog goroutine here has its own
 // recover so an injected panic surfaces as an error either way.
 func (s *Server) gatedRun(ctx context.Context, opts workload.Options) (*workload.Stats, error) {
+	req := telemetry.FromContext(ctx)
 	// Admission control: take a free worker slot if one exists; otherwise
 	// wait only while the bounded queue has room, and past that shed
 	// immediately — a bounded queue with a fast 429 beats an unbounded one
@@ -217,16 +338,19 @@ func (s *Server) gatedRun(ctx context.Context, opts workload.Options) (*workload
 	default:
 		if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
 			s.queued.Add(-1)
-			s.shed.Add(1)
+			s.shed.Inc()
 			return nil, fmt.Errorf("service: wait queue full (%d workers busy, %d queued): %w",
 				s.cfg.Workers, s.cfg.MaxQueue, errOverloaded)
 		}
+		endQueue := req.StartPhase(telemetry.PhaseQueue)
 		select {
 		case s.sem <- struct{}{}:
 			s.queued.Add(-1)
+			endQueue()
 		case <-ctx.Done():
 			s.queued.Add(-1)
-			s.aborted.Add(1)
+			endQueue()
+			s.aborted.Inc()
 			return nil, fmt.Errorf("service: run cancelled while queued: %w", context.Cause(ctx))
 		}
 	}
@@ -248,7 +372,7 @@ func (s *Server) gatedRun(ctx context.Context, opts workload.Options) (*workload
 	}
 	inj := s.cfg.Faults
 	s.inflight.Add(1)
-	s.runs.Add(1)
+	s.runs.Inc()
 	begin := time.Now()
 
 	type result struct {
@@ -260,10 +384,9 @@ func (s *Server) gatedRun(ctx context.Context, opts workload.Options) (*workload
 		var r result
 		defer func() {
 			s.inflight.Add(-1)
-			s.latMu.Lock()
-			s.latSum += time.Since(begin).Seconds()
-			s.latCount++
-			s.latMu.Unlock()
+			d := time.Since(begin)
+			s.runSeconds.Observe(d.Seconds())
+			req.AddPhase(telemetry.PhaseCompute, d)
 			if p := recover(); p != nil {
 				r = result{err: fmt.Errorf("service: run: %w: %v", rescache.ErrPanicked, p)}
 			}
@@ -356,7 +479,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
-	s.reqTotal.Add(1)
 	ctx, done := s.requestCtx(r)
 	defer done()
 
@@ -393,7 +515,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dig := rescache.DigestOptions(s.cfg.Preset.SF, s.cfg.Preset.Seed, env.CanonicalOptions(q, procs, opts))
-	s.respond(w, hit, dig, struct {
+	s.respond(w, r, hit, dig, struct {
 		Digest      string           `json:"digest"`
 		Cache       string           `json:"cache"`
 		Measurement core.Measurement `json:"measurement"`
@@ -401,7 +523,6 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
-	s.reqTotal.Add(1)
 	ctx, done := s.requestCtx(r)
 	defer done()
 
@@ -436,11 +557,10 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		s.failRun(w, err)
 		return
 	}
-	s.respondRaw(w, hit, dig, raw)
+	s.respondRaw(w, r, hit, dig, raw)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	s.reqTotal.Add(1)
 	ctx, done := s.requestCtx(r)
 	defer done()
 
@@ -477,7 +597,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.failRun(w, err)
 		return
 	}
-	s.respondRaw(w, hit, dig, raw)
+	s.respondRaw(w, r, hit, dig, raw)
 }
 
 // --- response helpers ---
@@ -489,16 +609,20 @@ func cacheWord(hit bool) string {
 	return "miss"
 }
 
-func (s *Server) respond(w http.ResponseWriter, hit bool, dig rescache.Digest, v any) {
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, hit bool, dig rescache.Digest, v any) {
 	b, err := json.Marshal(v)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.respondRaw(w, hit, dig, b)
+	s.respondRaw(w, r, hit, dig, b)
 }
 
-func (s *Server) respondRaw(w http.ResponseWriter, hit bool, dig rescache.Digest, body []byte) {
+func (s *Server) respondRaw(w http.ResponseWriter, r *http.Request, hit bool, dig rescache.Digest, body []byte) {
+	q := telemetry.FromContext(r.Context())
+	q.SetDigest(string(dig))
+	q.SetCache(cacheWord(hit))
+	defer q.StartPhase(telemetry.PhaseEncode)()
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
 	h.Set("X-Cache", cacheWord(hit))
@@ -543,9 +667,7 @@ func retriableStatus(status int) bool {
 // retryAfterSeconds estimates when capacity frees up: mean run latency
 // scaled by queue pressure, clamped to [1s, 60s].
 func (s *Server) retryAfterSeconds() int {
-	s.latMu.Lock()
-	latSum, latCount := s.latSum, s.latCount
-	s.latMu.Unlock()
+	latCount, latSum := s.runSeconds.Snapshot()
 	mean := 1.0
 	if latCount > 0 {
 		mean = latSum / float64(latCount)
@@ -564,7 +686,7 @@ func (s *Server) retryAfterSeconds() int {
 // {"error": ..., "retriable": bool, "status": N}. Retriable responses also
 // carry Retry-After, which internal/client honours.
 func (s *Server) fail(w http.ResponseWriter, status int, err error) {
-	s.reqErrors.Add(1)
+	s.reqErrors.Inc()
 	retriable := retriableStatus(status)
 	h := w.Header()
 	h.Set("Content-Type", "application/json")

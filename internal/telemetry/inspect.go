@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultRecent is how many completed requests a Tracker retains.
+const DefaultRecent = 64
+
+// PhaseView is the exported form of one aggregated phase.
+type PhaseView struct {
+	Name       string  `json:"name"`
+	Count      uint64  `json:"count"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// RequestView is the exported snapshot of one tracked request.
+type RequestView struct {
+	ID         string      `json:"id"`
+	Endpoint   string      `json:"endpoint"`
+	Attempt    int         `json:"attempt"`
+	Start      time.Time   `json:"start"`
+	DurationMS float64     `json:"duration_ms"`
+	Done       bool        `json:"done"`
+	Status     int         `json:"status,omitempty"`
+	Outcome    string      `json:"outcome,omitempty"`
+	Digest     string      `json:"digest,omitempty"`
+	Cache      string      `json:"cache,omitempty"`
+	Phases     []PhaseView `json:"phases,omitempty"`
+}
+
+// View snapshots the request for the inspector.
+func (q *Request) View() RequestView {
+	if q == nil {
+		return RequestView{}
+	}
+	q.mu.Lock()
+	v := RequestView{
+		ID: q.ID, Endpoint: q.Endpoint, Attempt: q.Attempt, Start: q.Start,
+		Done: q.done, Status: q.status, Outcome: q.outcome,
+		Digest: q.digest, Cache: q.cache,
+	}
+	end := q.end
+	if !q.done {
+		end = time.Now()
+	}
+	v.DurationMS = float64(end.Sub(q.Start).Microseconds()) / 1e3
+	for _, name := range q.order {
+		a := q.phases[name]
+		v.Phases = append(v.Phases, PhaseView{Name: name, Count: a.count, DurationMS: a.seconds * 1e3})
+	}
+	q.mu.Unlock()
+	return v
+}
+
+// Tracker is the live request inspector: the set of in-flight requests plus
+// a ring of recently completed ones. It implements http.Handler, serving the
+// snapshot as JSON (the daemon mounts it at /debug/requests).
+type Tracker struct {
+	mu       sync.Mutex
+	inflight map[*Request]struct{}
+	recent   []*Request // ring buffer, next is the oldest slot
+	next     int
+}
+
+// NewTracker returns a tracker retaining recentCap completed requests
+// (<= 0 selects DefaultRecent).
+func NewTracker(recentCap int) *Tracker {
+	if recentCap <= 0 {
+		recentCap = DefaultRecent
+	}
+	return &Tracker{
+		inflight: make(map[*Request]struct{}),
+		recent:   make([]*Request, 0, recentCap),
+	}
+}
+
+// Begin registers q as in flight.
+func (t *Tracker) Begin(q *Request) {
+	if t == nil || q == nil {
+		return
+	}
+	t.mu.Lock()
+	t.inflight[q] = struct{}{}
+	t.mu.Unlock()
+}
+
+// End moves q from the in-flight set into the recent ring.
+func (t *Tracker) End(q *Request) {
+	if t == nil || q == nil {
+		return
+	}
+	t.mu.Lock()
+	delete(t.inflight, q)
+	if len(t.recent) < cap(t.recent) {
+		t.recent = append(t.recent, q)
+	} else {
+		t.recent[t.next] = q
+		t.next = (t.next + 1) % cap(t.recent)
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the in-flight requests (oldest first) and the retained
+// completed ones (newest first).
+func (t *Tracker) Snapshot() (inflight, recent []RequestView) {
+	t.mu.Lock()
+	live := make([]*Request, 0, len(t.inflight))
+	for q := range t.inflight {
+		live = append(live, q)
+	}
+	done := make([]*Request, 0, len(t.recent))
+	for i := 1; i <= len(t.recent); i++ { // walk the ring newest-first
+		done = append(done, t.recent[(t.next+len(t.recent)-i)%len(t.recent)])
+	}
+	t.mu.Unlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].Start.Before(live[j].Start) })
+	for _, q := range live {
+		inflight = append(inflight, q.View())
+	}
+	for _, q := range done {
+		recent = append(recent, q.View())
+	}
+	return inflight, recent
+}
+
+// ServeHTTP renders the snapshot as JSON.
+func (t *Tracker) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	inflight, recent := t.Snapshot()
+	if inflight == nil {
+		inflight = []RequestView{}
+	}
+	if recent == nil {
+		recent = []RequestView{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Inflight []RequestView `json:"inflight"`
+		Recent   []RequestView `json:"recent"`
+	}{inflight, recent})
+}

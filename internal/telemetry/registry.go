@@ -1,0 +1,420 @@
+// Package telemetry is the request-scoped observability substrate for the
+// serving layer: a dependency-free metrics registry (counters, gauges and
+// fixed-bucket histograms, all label-aware, with atomic hot paths and a
+// Prometheus text-format renderer), request identity (IDs minted or honored
+// from X-Request-ID) that flows through context, per-request phase timing
+// (queue wait, cache tier lookups, compute, encode), and a live request
+// tracker behind /debug/requests.
+//
+// Design constraints, in order:
+//
+//  1. Zero dependencies. Like internal/service's original hand-rolled
+//     /metrics, the repository takes no metrics library; the exposition
+//     format is convention, and the registry is ~300 lines.
+//  2. Atomic hot paths. A resolved series (a *Counter, *Gauge or *Hist
+//     child) is mutated with a single atomic op — no locks, no allocation.
+//     Label resolution (With) takes a read-lock and allocates a key, so hot
+//     callers resolve their children once and keep the pointer.
+//  3. Aggregatable. Every series is label-structured so a fleet coordinator
+//     can sum worker scrapes; histograms use fixed buckets for the same
+//     reason (equal buckets merge by addition).
+//  4. Nil-safety. A nil *Request is valid everywhere and every method on it
+//     is a no-op, so instrumented code paths cost one predictable branch
+//     when telemetry is absent (CLI runs, benchmarks).
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets is the default latency histogram layout, in seconds. It spans
+// sub-millisecond cache hits to ten-minute figure computations; every
+// histogram in the daemon shares it so per-phase and per-endpoint series
+// merge bucket-by-bucket in a fleet rollup.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 120, 300, 600,
+}
+
+var validName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var validLabel = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	families []*family
+	index    map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*family)}
+}
+
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	}
+	return "histogram"
+}
+
+// PollFunc emits a polled family's current series, one emit call per series.
+// Polled families have no stored children: the collector reads its source
+// (e.g. rescache.Stats) at scrape time, so sources that already keep their
+// own atomic counters are not duplicated.
+type PollFunc func(emit func(v float64, labelValues ...string))
+
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string
+	buckets []float64 // histogramKind only
+
+	mu     sync.RWMutex
+	series map[string]any // label-values key -> *Counter | *Gauge | *Hist
+	order  []string       // insertion order of series keys
+
+	poll PollFunc // non-nil for polled families
+}
+
+// family registers (or returns the existing) family under name. Registering
+// the same name with a different kind or label set is a programming error
+// and panics.
+func (r *Registry) family(name, help string, k kind, labels []string, buckets []float64, poll PollFunc) *family {
+	if !validName.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabel.MatchString(l) || l == "le" {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.index[name]; ok {
+		if f.kind != k || !slices.Equal(f.labels, labels) {
+			panic(fmt.Sprintf("telemetry: conflicting re-registration of %s", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: k,
+		labels: slices.Clone(labels), buckets: buckets,
+		series: make(map[string]any),
+		poll:   poll,
+	}
+	r.index[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+func (f *family) child(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: %s wants %d label value(s), got %d", f.name, len(f.labels), len(values)))
+	}
+	k := strings.Join(values, "\xff")
+	f.mu.RLock()
+	c, ok := f.series[k]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.series[k]; ok {
+		return c
+	}
+	c = mk()
+	f.series[k] = c
+	f.order = append(f.order, k)
+	return c
+}
+
+// ---- counters ----
+
+// Counter is a monotonically increasing series. Mutations are one atomic op.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With resolves the child for the given label values, creating it on first
+// use. Resolve once and keep the pointer on hot paths.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.child(labelValues, func() any { return new(Counter) }).(*Counter)
+}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, counterKind, nil, nil, nil).
+		child(nil, func() any { return new(Counter) }).(*Counter)
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, counterKind, labelNames, nil, nil)}
+}
+
+// ---- gauges ----
+
+// Gauge is a settable integer series. Mutations are one atomic op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds delta (which may be negative) and returns the new value, so
+// callers can gate on the level they just reached (admission control does).
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With resolves the child for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.child(labelValues, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, gaugeKind, nil, nil, nil).
+		child(nil, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, gaugeKind, labelNames, nil, nil)}
+}
+
+// ---- histograms ----
+
+// Hist is a fixed-bucket histogram. Observe is lock-free: one atomic add per
+// bucket, count and sum.
+type Hist struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot returns the observation count and value sum.
+func (h *Hist) Snapshot() (count uint64, sum float64) {
+	return h.count.Load(), h.sum.Load()
+}
+
+// HistVec is a labeled histogram family. All children share the family's
+// bucket layout, so they aggregate by addition.
+type HistVec struct{ f *family }
+
+// With resolves the child for the given label values.
+func (v *HistVec) With(labelValues ...string) *Hist {
+	return v.f.child(labelValues, func() any { return newHist(v.f.buckets) }).(*Hist)
+}
+
+func newHist(bounds []float64) *Hist {
+	return &Hist{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func checkBuckets(buckets []float64) []float64 {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	b := slices.Clone(buckets)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram buckets not strictly increasing at %v", b[i]))
+		}
+	}
+	return b
+}
+
+// Histogram registers an unlabeled histogram (nil buckets = DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Hist {
+	f := r.family(name, help, histogramKind, nil, checkBuckets(buckets), nil)
+	return f.child(nil, func() any { return newHist(f.buckets) }).(*Hist)
+}
+
+// HistogramVec registers a labeled histogram family (nil buckets =
+// DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistVec {
+	return &HistVec{r.family(name, help, histogramKind, labelNames, checkBuckets(buckets), nil)}
+}
+
+// ---- polled families ----
+
+// PollCounter registers a counter family whose series are read from fn at
+// scrape time (sources that keep their own atomic counters, like
+// rescache.Stats).
+func (r *Registry) PollCounter(name, help string, labelNames []string, fn PollFunc) {
+	r.family(name, help, counterKind, labelNames, nil, fn)
+}
+
+// PollGauge is PollCounter for gauges.
+func (r *Registry) PollGauge(name, help string, labelNames []string, fn PollFunc) {
+	r.family(name, help, gaugeKind, labelNames, nil, fn)
+}
+
+// ---- atomic float ----
+
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// ---- text renderer ----
+
+// WriteText renders every family in registration order in the Prometheus
+// text exposition format (version 0.0.4): HELP and TYPE once per family,
+// series in first-use order, histograms as cumulative _bucket/_sum/_count.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	fams := slices.Clone(r.families)
+	r.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(bw *bufio.Writer) {
+	fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+	if f.poll != nil {
+		f.poll(func(v float64, labelValues ...string) {
+			writeSample(bw, f.name, f.labels, labelValues, "", "", v)
+		})
+		return
+	}
+	f.mu.RLock()
+	keys := slices.Clone(f.order)
+	children := make([]any, len(keys))
+	for i, k := range keys {
+		children[i] = f.series[k]
+	}
+	f.mu.RUnlock()
+	for i, k := range keys {
+		var values []string
+		if len(f.labels) > 0 {
+			values = strings.Split(k, "\xff")
+		}
+		switch m := children[i].(type) {
+		case *Counter:
+			writeSample(bw, f.name, f.labels, values, "", "", float64(m.Load()))
+		case *Gauge:
+			writeSample(bw, f.name, f.labels, values, "", "", float64(m.Load()))
+		case *Hist:
+			cum := uint64(0)
+			for bi, b := range f.buckets {
+				cum += m.counts[bi].Load()
+				writeSample(bw, f.name+"_bucket", f.labels, values, "le", formatFloat(b), float64(cum))
+			}
+			count, sum := m.Snapshot()
+			writeSample(bw, f.name+"_bucket", f.labels, values, "le", "+Inf", float64(count))
+			writeSample(bw, f.name+"_sum", f.labels, values, "", "", sum)
+			writeSample(bw, f.name+"_count", f.labels, values, "", "", float64(count))
+		}
+	}
+}
+
+// writeSample emits one series line; extraName/extraValue append a synthetic
+// label (histogram "le").
+func writeSample(bw *bufio.Writer, name string, labelNames, labelValues []string, extraName, extraValue string, v float64) {
+	bw.WriteString(name)
+	if len(labelNames) > 0 || extraName != "" {
+		bw.WriteByte('{')
+		sep := false
+		for i, ln := range labelNames {
+			if sep {
+				bw.WriteByte(',')
+			}
+			sep = true
+			bw.WriteString(ln)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(labelValues[i]))
+			bw.WriteByte('"')
+		}
+		if extraName != "" {
+			if sep {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraName)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(extraValue))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

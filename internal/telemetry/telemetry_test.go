@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewID(t *testing.T) {
+	a, b := NewID(), NewID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("want 16 hex chars, got %q, %q", a, b)
+	}
+	if a == b {
+		t.Fatalf("two IDs collided: %q", a)
+	}
+	if CleanID(a) != a {
+		t.Fatalf("minted ID %q must survive CleanID", a)
+	}
+}
+
+func TestCleanID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"abc-123_x.Y", "abc-123_x.Y"},
+		{"", ""},
+		{strings.Repeat("a", 64), strings.Repeat("a", 64)},
+		{strings.Repeat("a", 65), ""},
+		{"has space", ""},
+		{"quote\"", ""},
+		{"new\nline", ""},
+		{"über", ""},
+	}
+	for _, tc := range cases {
+		if got := CleanID(tc.in); got != tc.want {
+			t.Errorf("CleanID(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRequestPhases(t *testing.T) {
+	q := NewRequest("deadbeefdeadbeef", "/v1/measure")
+	q.AddPhase(PhaseQueue, 10*time.Millisecond)
+	q.AddPhase(PhaseCompute, 30*time.Millisecond)
+	q.AddPhase(PhaseCompute, 20*time.Millisecond)
+	q.SetDigest("sha256:abc")
+	q.SetCache("miss")
+	q.Finish(200, "ok")
+
+	ph := q.Phases()
+	if len(ph) != 2 {
+		t.Fatalf("want 2 phases, got %v", ph)
+	}
+	if ph[0].Name != PhaseQueue || ph[0].Count != 1 {
+		t.Errorf("phase 0 = %+v", ph[0])
+	}
+	if ph[1].Name != PhaseCompute || ph[1].Count != 2 || ph[1].Seconds < 0.049 || ph[1].Seconds > 0.051 {
+		t.Errorf("phase 1 = %+v", ph[1])
+	}
+	v := q.View()
+	if !v.Done || v.Status != 200 || v.Outcome != "ok" || v.Digest != "sha256:abc" || v.Cache != "miss" {
+		t.Errorf("view = %+v", v)
+	}
+	if len(v.Phases) != 2 || v.Phases[1].DurationMS < 49 || v.Phases[1].DurationMS > 51 {
+		t.Errorf("view phases = %+v", v.Phases)
+	}
+}
+
+func TestRequestNilSafety(t *testing.T) {
+	var q *Request
+	q.AddPhase(PhaseQueue, time.Second)
+	q.StartPhase(PhaseCompute)()
+	q.SetDigest("x")
+	q.SetCache("hit")
+	q.Finish(200, "ok")
+	if q.Duration() != 0 || q.Phases() != nil {
+		t.Fatal("nil Request must be inert")
+	}
+	if v := q.View(); v.ID != "" {
+		t.Fatalf("nil View = %+v", v)
+	}
+	var tr *Tracker
+	tr.Begin(q)
+	tr.End(q)
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(nil) != nil {
+		t.Fatal("nil context must yield nil request")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("bare context must yield nil request")
+	}
+	q := NewRequest("id", "/v1/measure")
+	ctx := NewContext(context.Background(), q)
+	if FromContext(ctx) != q {
+		t.Fatal("request lost in context round trip")
+	}
+}
+
+func TestTrackerRing(t *testing.T) {
+	tr := NewTracker(3)
+	live := NewRequest("live", "/v1/measure")
+	tr.Begin(live)
+	for i, id := range []string{"r0", "r1", "r2", "r3", "r4"} {
+		q := NewRequest(id, "/v1/measure")
+		q.Start = q.Start.Add(time.Duration(i) * time.Millisecond)
+		tr.Begin(q)
+		q.Finish(200, "ok")
+		tr.End(q)
+	}
+	inflight, recent := tr.Snapshot()
+	if len(inflight) != 1 || inflight[0].ID != "live" {
+		t.Fatalf("inflight = %+v", inflight)
+	}
+	if len(recent) != 3 {
+		t.Fatalf("ring cap 3, got %d", len(recent))
+	}
+	for i, want := range []string{"r4", "r3", "r2"} {
+		if recent[i].ID != want {
+			t.Errorf("recent[%d] = %s, want %s (newest first)", i, recent[i].ID, want)
+		}
+	}
+}
+
+func TestTrackerServeHTTP(t *testing.T) {
+	tr := NewTracker(4)
+	q := NewRequest("abc123", "/v1/measure")
+	q.AddPhase(PhaseCompute, 5*time.Millisecond)
+	tr.Begin(q)
+	done := NewRequest("def456", "/v1/sweep")
+	tr.Begin(done)
+	done.Finish(200, "ok")
+	tr.End(done)
+
+	rec := httptest.NewRecorder()
+	tr.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var body struct {
+		Inflight []RequestView `json:"inflight"`
+		Recent   []RequestView `json:"recent"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(body.Inflight) != 1 || body.Inflight[0].ID != "abc123" || body.Inflight[0].Done {
+		t.Fatalf("inflight = %+v", body.Inflight)
+	}
+	if len(body.Recent) != 1 || body.Recent[0].ID != "def456" || !body.Recent[0].Done {
+		t.Fatalf("recent = %+v", body.Recent)
+	}
+}

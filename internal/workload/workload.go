@@ -18,6 +18,7 @@ import (
 	"dssmem/internal/perfctr"
 	"dssmem/internal/sim"
 	"dssmem/internal/simos"
+	"dssmem/internal/telemetry"
 	"dssmem/internal/tpch"
 )
 
@@ -187,6 +188,11 @@ func run(ctx context.Context, opts Options) (*Stats, error) {
 
 	if opts.Obs != nil {
 		opts.Obs.Bind(spec.CPUs, spec.ClockMHz)
+		if q := telemetry.FromContext(ctx); q != nil {
+			// Tag the trace with the API request driving this run so the
+			// Perfetto file joins to the daemon's logs and /debug/requests.
+			opts.Obs.SetRequestID(q.ID)
+		}
 		m.Observe(opts.Obs)
 		osys.Observe(opts.Obs)
 	}

@@ -10,6 +10,11 @@ package dssmem_test
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -17,10 +22,12 @@ import (
 	"dssmem/internal/db/btree"
 	"dssmem/internal/db/storage"
 	"dssmem/internal/experiments"
+	"dssmem/internal/fleet"
 	"dssmem/internal/machine"
 	"dssmem/internal/memsys"
 	"dssmem/internal/oltp"
 	"dssmem/internal/rescache"
+	"dssmem/internal/service"
 	"dssmem/internal/sim"
 	"dssmem/internal/tpch"
 	"dssmem/internal/trace"
@@ -334,6 +341,85 @@ func BenchmarkTraceCaptureReplay(b *testing.B) {
 		mem := &trace.MachineMem{M: m, CPU: 0}
 		if _, err := trace.Replay(bytes.NewReader(buf.Bytes()), mem); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// cannedTransport plays a fleet of in-process fake workers: every
+// /v1/measure call is answered from canned bytes keyed by the procs
+// parameter, with the X-Digest the coordinator will verify. No sockets, no
+// simulation — the benchmark isolates the coordinator itself.
+type cannedTransport struct {
+	resp map[string]cannedResp
+}
+
+type cannedResp struct {
+	digest string
+	body   []byte
+}
+
+func (t cannedTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	cr, ok := t.resp[req.URL.Query().Get("procs")]
+	if !ok {
+		return nil, fmt.Errorf("canned worker: unexpected call %s", req.URL)
+	}
+	h := make(http.Header)
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Digest", cr.digest)
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Status:     "200 OK",
+		Header:     h,
+		Body:       io.NopCloser(bytes.NewReader(cr.body)),
+		Request:    req,
+	}, nil
+}
+
+// BenchmarkFleetFanout measures the coordinator's orchestration cost in
+// isolation: one /v1/sweep served over four fake workers answering from
+// canned bytes. DisableCache makes every iteration pay the full fan-out
+// path — parse, per-point digests, ring lookups, raced worker calls,
+// X-Digest verification, splice, encode — which is the fleet's own overhead
+// on top of whatever the workers do.
+func BenchmarkFleetFanout(b *testing.B) {
+	preset := experiments.Tiny
+	spec, err := service.ParseMachine("vclass", "", preset.MemScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	canned := make(map[string]cannedResp, len(experiments.ProcCounts))
+	for _, n := range experiments.ProcCounts {
+		dig := service.MeasureDigest(preset, tpch.Q6, n, workload.Options{Spec: spec})
+		meas := fmt.Sprintf(
+			`{"Procs":%d,"CyclesPerMInstr":%d.5,"L1MissesPerM":%d,"L2MissesPerM":%d,"MemLatencyCycles":%d}`,
+			n, 1000+n, 40+n, 10+n, 90+n)
+		canned[strconv.Itoa(n)] = cannedResp{
+			digest: string(dig),
+			body:   []byte(fmt.Sprintf(`{"digest":%q,"cache":"hit","measurement":%s}`, dig, meas)),
+		}
+	}
+	workers := make([]fleet.Worker, 4)
+	for i := range workers {
+		workers[i] = fleet.Worker{Name: fmt.Sprintf("w%d", i), URL: fmt.Sprintf("http://fake-w%d", i)}
+	}
+	coord, err := fleet.New(fleet.Config{
+		Preset:       preset,
+		Workers:      workers,
+		HTTP:         &http.Client{Transport: cannedTransport{canned}},
+		StealAfter:   -1,
+		DisableCache: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := coord.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/sweep?machine=vclass&query=Q6", nil))
+		if rr.Code != http.StatusOK {
+			b.Fatalf("sweep fan-out: %d %s", rr.Code, rr.Body)
 		}
 	}
 }

@@ -10,6 +10,7 @@
 //	        [-drain-timeout D] [-max-queue N] [-hard-deadline D]
 //	        [-faults SPEC] [-fault-seed N]
 //	        [-log-format json|text] [-debug-addr ADDR]
+//	        [-role worker|coordinator] [-fleet-workers SPEC] [-peers SPEC]
 //
 // Overload and failure handling (DESIGN.md §10): requests beyond the worker
 // pool wait in a bounded queue (-max-queue); past that they are shed with
@@ -26,6 +27,15 @@
 // and visible live at /debug/requests. -debug-addr opens a second listener
 // with net/http/pprof plus the same /metrics and /debug/requests — keep it
 // private; the main listener never exposes pprof.
+//
+// Fleet mode (DESIGN.md §13): N daemons plus one coordinator serve the same
+// /v1 API as a single logical service. Workers gain a peer-fill cache tier
+// with -peers; the coordinator shards requests by content digest:
+//
+//	dssmemd -preset tiny -addr :8078 -peers 'w1=http://localhost:8079'
+//	dssmemd -preset tiny -addr :8079 -peers 'w0=http://localhost:8078'
+//	dssmemd -role coordinator -preset tiny -addr :8077 \
+//	        -fleet-workers 'w0=http://localhost:8078,w1=http://localhost:8079'
 //
 // Endpoints (see internal/service):
 //
@@ -58,8 +68,10 @@ import (
 
 	"dssmem"
 	"dssmem/internal/fault"
+	"dssmem/internal/fleet"
 	"dssmem/internal/rescache"
 	"dssmem/internal/service"
+	"dssmem/internal/telemetry"
 )
 
 func main() {
@@ -77,6 +89,11 @@ func main() {
 	logFormat := flag.String("log-format", "json", "log output format: json or text")
 	debugAddr := flag.String("debug-addr", "", "private debug listener with pprof, /metrics and /debug/requests ('' = off)")
 	recentReqs := flag.Int("recent-requests", 0, "completed requests retained by /debug/requests (0 = default)")
+	role := flag.String("role", "worker", "process role: worker (serves simulations) or coordinator (shards over -fleet-workers)")
+	fleetWorkers := flag.String("fleet-workers", "", "coordinator: worker roster as 'name=url,name=url,...'")
+	peers := flag.String("peers", "", "worker: fleet peers as 'name=url,...' consulted on a cache miss before recomputing")
+	peerTries := flag.Int("peer-tries", 0, "worker: peers asked per cache miss (0 = 2)")
+	stealAfter := flag.Duration("steal-after", 15*time.Second, "coordinator: straggler deadline before re-issuing a call to the next worker (<0 = off)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -94,55 +111,102 @@ func main() {
 		fatal("bad preset", err)
 	}
 
-	cfg := service.Config{
-		Preset:         p,
-		CacheDir:       *cacheDir,
-		Workers:        *workers,
-		RunTimeout:     *runTimeout,
-		EnvParallelism: *envPar,
-		MaxQueue:       *maxQueue,
-		HardDeadline:   *hardDeadline,
-		Log:            logger,
-		RecentRequests: *recentReqs,
-	}
-	if *faultSpec != "" {
-		probs, err := fault.ParseSpec(*faultSpec)
+	// The role decides what this process is: a worker owns a dataset and
+	// simulates; a coordinator owns neither — it routes, verifies and
+	// aggregates, so it starts instantly and stays cheap.
+	var handler http.Handler
+	var closeSrv func()
+	var reg *telemetry.Registry
+	var dbgRequests http.Handler
+	switch *role {
+	case "coordinator":
+		if *fleetWorkers == "" {
+			fatal("-role coordinator", errors.New("needs -fleet-workers"))
+		}
+		roster, err := fleet.ParseWorkers(*fleetWorkers)
 		if err != nil {
-			fatal("-faults", err)
+			fatal("-fleet-workers", err)
 		}
-		inj := fault.New(*faultSeed)
-		inj.Configure(probs)
-		cfg.Faults = inj
-		if *cacheDir != "" {
-			// Route the cache's disk I/O through the injector too, so disk
-			// sites fire; the store is otherwise identical to the default.
-			store, err := rescache.OpenFS(*cacheDir, fault.FS{Inner: rescache.OSFS{}, Inj: inj})
-			if err != nil {
-				fatal("opening fault-injecting store", err)
-			}
-			cfg.Store = store
+		coord, err := fleet.New(fleet.Config{
+			Preset:         p,
+			Workers:        roster,
+			StealAfter:     *stealAfter,
+			Log:            logger,
+			RecentRequests: *recentReqs,
+		})
+		if err != nil {
+			fatal("starting coordinator", err)
 		}
-		logger.Warn("FAULT INJECTION ARMED", "seed", *faultSeed, "spec", inj.String())
-	}
+		handler, closeSrv, reg, dbgRequests = coord.Handler(), func() {}, coord.Registry(), coord.DebugRequests()
+		logger.Info("coordinating fleet", "workers", len(roster), "steal_after", stealAfter.String())
 
-	logger.Info("generating dataset", "preset", p.Name, "sf", p.SF)
-	srv, err := service.New(cfg)
-	if err != nil {
-		fatal("starting service", err)
+	case "worker":
+		cfg := service.Config{
+			Preset:         p,
+			CacheDir:       *cacheDir,
+			Workers:        *workers,
+			RunTimeout:     *runTimeout,
+			EnvParallelism: *envPar,
+			MaxQueue:       *maxQueue,
+			HardDeadline:   *hardDeadline,
+			Log:            logger,
+			RecentRequests: *recentReqs,
+		}
+		if *peers != "" {
+			roster, err := fleet.ParseWorkers(*peers)
+			if err != nil {
+				fatal("-peers", err)
+			}
+			pf, err := fleet.NewPeerFetch(roster, nil, *peerTries)
+			if err != nil {
+				fatal("-peers", err)
+			}
+			cfg.PeerFetch = pf
+			logger.Info("peer cache fill armed", "peers", len(roster))
+		}
+		if *faultSpec != "" {
+			probs, err := fault.ParseSpec(*faultSpec)
+			if err != nil {
+				fatal("-faults", err)
+			}
+			inj := fault.New(*faultSeed)
+			inj.Configure(probs)
+			cfg.Faults = inj
+			if *cacheDir != "" {
+				// Route the cache's disk I/O through the injector too, so disk
+				// sites fire; the store is otherwise identical to the default.
+				store, err := rescache.OpenFS(*cacheDir, fault.FS{Inner: rescache.OSFS{}, Inj: inj})
+				if err != nil {
+					fatal("opening fault-injecting store", err)
+				}
+				cfg.Store = store
+			}
+			logger.Warn("FAULT INJECTION ARMED", "seed", *faultSeed, "spec", inj.String())
+		}
+
+		logger.Info("generating dataset", "preset", p.Name, "sf", p.SF)
+		srv, err := service.New(cfg)
+		if err != nil {
+			fatal("starting service", err)
+		}
+		handler, closeSrv, reg, dbgRequests = srv.Handler(), func() { srv.Close() }, srv.Registry(), srv.DebugRequests()
+
+	default:
+		fatal("-role", fmt.Errorf("unknown role %q (worker|coordinator)", *role))
 	}
 
 	if *debugAddr != "" {
-		go serveDebug(*debugAddr, srv, logger)
+		go serveDebug(*debugAddr, reg, dbgRequests, logger)
 	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Info("serving", "preset", p.Name, "addr", *addr, "cache", cacheLabel(*cacheDir))
+	logger.Info("serving", "role", *role, "preset", p.Name, "addr", *addr, "cache", cacheLabel(*cacheDir))
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -165,7 +229,7 @@ func main() {
 	case sig := <-sigc:
 		logger.Warn("aborting in-flight runs", "signal", sig.String())
 	}
-	srv.Close()
+	closeSrv()
 	httpSrv.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("listener error", "err", err)
@@ -187,17 +251,17 @@ func newLogger(format string) (*slog.Logger, error) {
 
 // serveDebug runs the private debug listener: pprof (never on the public
 // mux), plus the same metrics and request inspector the API serves.
-func serveDebug(addr string, srv *service.Server, logger *slog.Logger) {
+func serveDebug(addr string, reg *telemetry.Registry, dbgRequests http.Handler, logger *slog.Logger) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/debug/requests", srv.DebugRequests())
+	mux.Handle("/debug/requests", dbgRequests)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		srv.Registry().WriteText(w)
+		reg.WriteText(w)
 	})
 	logger.Info("debug listener up", "addr", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {

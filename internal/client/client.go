@@ -101,6 +101,10 @@ type APIError struct {
 	RequestID string // server's X-Request-ID echo, if any
 	Retriable bool
 	Attempts  int
+	// RetryAfter is the server's parsed Retry-After hint (zero if absent),
+	// kept so a proxying caller — the fleet coordinator — can re-emit the
+	// hint instead of inventing its own.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -154,8 +158,14 @@ func (c *Client) Get(ctx context.Context, path string) (*Response, error) {
 	}
 	url := c.cfg.BaseURL + path
 	// One logical request keeps one ID across all its attempts, so the
-	// daemon's logs show the retries of a request as one thread.
+	// daemon's logs show the retries of a request as one thread. When ctx
+	// already carries a tracked request (a fleet coordinator forwarding an
+	// API call), its ID is reused so one inbound X-Request-ID stitches every
+	// downstream hop into a single distributed trace.
 	id := telemetry.NewID()
+	if q := telemetry.FromContext(ctx); q != nil && telemetry.CleanID(q.ID) != "" {
+		id = q.ID
+	}
 	c.requests.Add(1)
 
 	var lastErr error
@@ -225,10 +235,11 @@ func (c *Client) once(ctx context.Context, url, id string, attempt int) (*http.R
 // HTML, a truncated write), it falls back to the status-code taxonomy.
 func decodeError(resp *http.Response, attempts int) *APIError {
 	ae := &APIError{
-		Status:    resp.StatusCode,
-		RequestID: resp.Header.Get("X-Request-ID"),
-		Retriable: retriableStatus(resp.StatusCode),
-		Attempts:  attempts,
+		Status:     resp.StatusCode,
+		RequestID:  resp.Header.Get("X-Request-ID"),
+		Retriable:  retriableStatus(resp.StatusCode),
+		Attempts:   attempts,
+		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	var eb struct {

@@ -238,4 +238,54 @@ func TestParseRetryAfter(t *testing.T) {
 	if d := parseRetryAfter(past); d != 0 {
 		t.Fatalf("past http-date: %v", d)
 	}
+	// RFC 9110 permits the obsolete RFC 850 and ANSI C asctime date forms
+	// too; http.ParseTime accepts all three.
+	future := time.Now().Add(90 * time.Second).UTC()
+	for _, form := range []string{
+		future.Format("Monday, 02-Jan-06 15:04:05 GMT"), // RFC 850
+		future.Format(time.ANSIC),
+	} {
+		if d := parseRetryAfter(form); d < 80*time.Second || d > 90*time.Second {
+			t.Fatalf("obsolete date form %q: %v", form, d)
+		}
+	}
+	if d := parseRetryAfter("-5"); d != 0 {
+		t.Fatalf("negative seconds: %v", d)
+	}
+	if d := parseRetryAfter("0"); d != 0 {
+		t.Fatalf("zero seconds: %v", d)
+	}
+}
+
+// TestAPIErrorRetryAfter: a proxying caller (the fleet coordinator) re-emits
+// the server's Retry-After hint, so the decoded error must carry it — in
+// both the delta-seconds and HTTP-date forms.
+func TestAPIErrorRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		header   string
+		min, max time.Duration
+	}{
+		{"3", 3 * time.Second, 3 * time.Second},
+		{time.Now().Add(60 * time.Second).UTC().Format(http.TimeFormat), 50 * time.Second, 60 * time.Second},
+		{"junk", 0, 0},
+	} {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", tc.header)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"busy","retriable":true}`)
+		}))
+		c, err := New(Config{BaseURL: ts.URL, MaxAttempts: 1, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c.Get(context.Background(), "/x")
+		ts.Close()
+		var ae *APIError
+		if !errors.As(err, &ae) {
+			t.Fatalf("Retry-After %q: err %v", tc.header, err)
+		}
+		if ae.RetryAfter < tc.min || ae.RetryAfter > tc.max {
+			t.Errorf("Retry-After %q: parsed %v, want in [%v, %v]", tc.header, ae.RetryAfter, tc.min, tc.max)
+		}
+	}
 }

@@ -1,0 +1,333 @@
+package fleet
+
+// Fleet chaos test: every worker's disk, compute, and simulation layers fail
+// probabilistically, one worker is killed outright mid-sweep and later
+// restarted on its (possibly rotten) cache directory — and the coordinator
+// must hold the single-node contract throughout:
+//
+//   1. every HTTP 200 carries bytes identical to the fault-free single-node
+//      baseline (stealing, failover, and peer fills may change WHERE an
+//      answer comes from, never WHAT it is), and
+//   2. every failure is marked retriable — valid requests never die for good;
+//   3. once the faults stop and the dead worker returns, fleet /healthz
+//      recovers to "ok".
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dssmem/internal/client"
+	"dssmem/internal/experiments"
+	"dssmem/internal/fault"
+	"dssmem/internal/rescache"
+	"dssmem/internal/service"
+)
+
+func fleetChaosIters(t *testing.T) int {
+	if v := os.Getenv("CHAOS_ITERS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("CHAOS_ITERS=%q: %v", v, err)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 6
+	}
+	return 15
+}
+
+func TestFleetChaos(t *testing.T) {
+	const nWorkers = 3
+
+	// Each worker gets its own injector (so all three misbehave
+	// independently) and its own persistent cache directory (so the restart
+	// reads a disk that chaos actually wrote to).
+	dirs := make([]string, nWorkers)
+	injs := make([]*fault.Injector, nWorkers)
+	for i := range dirs {
+		dirs[i] = t.TempDir()
+		injs[i] = fault.New(int64(20260808 + i))
+	}
+
+	workerCfg := func(i int) service.Config {
+		store, err := rescache.OpenFS(dirs[i], fault.FS{Inner: rescache.OSFS{}, Inj: injs[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.SetBreaker(3, 100*time.Millisecond)
+		return service.Config{
+			Preset:       experiments.Tiny,
+			Data:         sharedTinyData(),
+			Workers:      4,
+			MaxQueue:     32,
+			HardDeadline: 3 * time.Second,
+			Store:        store,
+			Faults:       injs[i],
+		}
+	}
+
+	workers := make([]*proxyWorker, nWorkers)
+	roster := make([]Worker, nWorkers)
+	for i := range workers {
+		workers[i] = newProxyWorker(t, fmt.Sprintf("w%d", i), workerCfg(i))
+		roster[i] = Worker{Name: workers[i].name, URL: workers[i].ts.URL}
+	}
+	// Arm the peer-fill tier on every worker: each consults the other two
+	// before recomputing, so chaos also exercises fetches against a fleet
+	// that is itself failing (and, once w0 dies, against a dead peer).
+	wirePeers := func() {
+		for i, w := range workers {
+			var peers []Worker
+			for j, r := range roster {
+				if j != i {
+					peers = append(peers, r)
+				}
+			}
+			pf, err := NewPeerFetch(peers, nil, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := w.srv.Load().Store()
+			st.SetPeerFetch(pf)
+			st.SetPeerBreaker(3, 100*time.Millisecond)
+		}
+	}
+	wirePeers()
+
+	coord, err := New(Config{
+		Preset:      experiments.Tiny,
+		Workers:     roster,
+		StealAfter:  300 * time.Millisecond,
+		MaxAttempts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	// Fault-free single-node baseline: the ground truth for every later 200.
+	ref := httptest.NewServer(newWorkerServer(t, service.Config{}).Handler())
+	defer ref.Close()
+	var measurePaths []string
+	for _, m := range []string{"vclass", "origin"} {
+		for _, q := range []string{"Q6", "Q12"} {
+			for _, trial := range []int{0, 1} {
+				measurePaths = append(measurePaths,
+					fmt.Sprintf("/v1/measure?machine=%s&query=%s&procs=2&trial=%d", m, q, trial))
+			}
+		}
+	}
+	sweepPaths := []string{
+		"/v1/sweep?machine=vclass&query=Q6",
+		"/v1/sweep?machine=origin&query=Q6",
+	}
+	type measureBody struct {
+		Digest      string          `json:"digest"`
+		Measurement json.RawMessage `json:"measurement"`
+	}
+	baselineMeasure := make(map[string]measureBody)
+	for _, p := range measurePaths {
+		resp, body := get(t, ref, p)
+		if resp.StatusCode != 200 {
+			t.Fatalf("baseline %s: %d %s", p, resp.StatusCode, body)
+		}
+		var mb measureBody
+		if err := json.Unmarshal(body, &mb); err != nil {
+			t.Fatal(err)
+		}
+		baselineMeasure[p] = mb
+	}
+	baselineSweep := make(map[string][]byte)
+	for _, p := range sweepPaths {
+		resp, body := get(t, ref, p)
+		if resp.StatusCode != 200 {
+			t.Fatalf("baseline %s: %d %s", p, resp.StatusCode, body)
+		}
+		baselineSweep[p] = body
+	}
+
+	arm := func() {
+		for _, inj := range injs {
+			inj.Set(fault.DiskReadErr, 0.10)
+			inj.Set(fault.DiskReadCorrupt, 0.10)
+			inj.Set(fault.DiskWriteErr, 0.10)
+			inj.Set(fault.DiskWriteTorn, 0.10)
+			inj.Set(fault.ComputePanic, 0.05)
+			inj.Set(fault.SimStall, 0.02)
+			inj.SetStall(2 * time.Millisecond)
+		}
+	}
+	disarm := func() {
+		for _, inj := range injs {
+			inj.DisableAll()
+		}
+	}
+
+	// --- chaos phase: all workers faulty, w0 killed mid-sweep ---
+	arm()
+	cl, err := client.New(client.Config{
+		BaseURL:     cts.URL,
+		HTTP:        cts.Client(),
+		MaxAttempts: 8,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    100 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	iters := fleetChaosIters(t)
+	var okCount, errCount atomic.Int64
+	checkErr := func(p string, err error) {
+		var ae *client.APIError
+		if errors.As(err, &ae) && !ae.Retriable {
+			t.Errorf("%s: non-retriable error for a valid request: %v", p, err)
+			return
+		}
+		errCount.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	// The sweep that gets its worker shot out from under it: launched first,
+	// with the kill following while its fan-out is in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := sweepPaths[0]
+		resp, err := cl.Get(context.Background(), p)
+		if err != nil {
+			checkErr(p, err)
+			return
+		}
+		if !bytes.Equal(resp.Body, baselineSweep[p]) {
+			t.Errorf("%s (kill mid-sweep): 200 body differs from fault-free single node:\n got %s\nwant %s",
+				p, resp.Body, baselineSweep[p])
+			return
+		}
+		okCount.Add(1)
+	}()
+	killed := make(chan struct{})
+	go func() {
+		time.Sleep(25 * time.Millisecond)
+		workers[0].kill()
+		close(killed)
+	}()
+
+	const goroutines = 4
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				if rng.Intn(8) == 0 { // sweeps are ~5x the work; keep them rare
+					p := sweepPaths[rng.Intn(len(sweepPaths))]
+					resp, err := cl.Get(context.Background(), p)
+					if err != nil {
+						checkErr(p, err)
+						continue
+					}
+					if !bytes.Equal(resp.Body, baselineSweep[p]) {
+						t.Errorf("%s: 200 body differs from fault-free single node", p)
+						return
+					}
+					okCount.Add(1)
+					continue
+				}
+				p := measurePaths[rng.Intn(len(measurePaths))]
+				resp, err := cl.Get(context.Background(), p)
+				if err != nil {
+					checkErr(p, err)
+					continue
+				}
+				var mb measureBody
+				if err := json.Unmarshal(resp.Body, &mb); err != nil {
+					t.Errorf("%s: 200 with undecodable body: %v", p, err)
+					return
+				}
+				want := baselineMeasure[p]
+				if mb.Digest != want.Digest || string(mb.Measurement) != string(want.Measurement) {
+					t.Errorf("%s: 200 measurement differs from fault-free single node:\n got %s\nwant %s",
+						p, mb.Measurement, want.Measurement)
+					return
+				}
+				okCount.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	<-killed
+	if t.Failed() {
+		t.FailNow()
+	}
+	if okCount.Load() == 0 {
+		t.Fatal("fleet chaos produced no successful requests — faults too aggressive to mean anything")
+	}
+
+	// --- recovery phase: faults off, dead worker restarted on its old disk ---
+	disarm()
+	workers[0].restart(t, workerCfg(0))
+	wirePeers()
+
+	deadline := time.Now().Add(30 * time.Second)
+	probe := 100
+	for {
+		_, body := get(t, cts, "/healthz")
+		var h struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatalf("healthz: %s: %v", body, err)
+		}
+		if h.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet stuck in %q after faults stopped and worker restarted: %s", h.Status, body)
+		}
+		// Fresh-digest traffic forces disk probes through each worker's
+		// half-open breaker; the ring spreads successive trials fleet-wide.
+		get(t, cts, fmt.Sprintf("/v1/measure?machine=vclass&query=Q6&procs=1&trial=%d", probe))
+		probe++
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Full verification: every path serves the baseline answer via the fleet.
+	for _, p := range measurePaths {
+		resp, body := get(t, cts, p)
+		if resp.StatusCode != 200 {
+			t.Fatalf("post-chaos %s: %d %s", p, resp.StatusCode, body)
+		}
+		var mb measureBody
+		if err := json.Unmarshal(body, &mb); err != nil {
+			t.Fatal(err)
+		}
+		if string(mb.Measurement) != string(baselineMeasure[p].Measurement) {
+			t.Fatalf("post-chaos %s: measurement differs from baseline", p)
+		}
+	}
+	for _, p := range sweepPaths {
+		resp, body := get(t, cts, p)
+		if resp.StatusCode != 200 {
+			t.Fatalf("post-chaos %s: %d %s", p, resp.StatusCode, body)
+		}
+		if !bytes.Equal(body, baselineSweep[p]) {
+			t.Fatalf("post-chaos %s: body differs from baseline", p)
+		}
+	}
+	t.Logf("fleet chaos: %d ok, %d gave up after retries", okCount.Load(), errCount.Load())
+}

@@ -1,0 +1,367 @@
+// Package fleet turns N dssmemd workers into one logical measurement service
+// behind the unchanged /v1 API. A coordinator shards the content-addressed
+// keyspace across workers with a consistent-hash ring (every rescache digest
+// has a stable home worker), fans /v1/sweep out point-by-point to the owning
+// workers, steals work from stragglers past a deadline (re-issuing a slow
+// point to the next worker on the ring — the simulations are deterministic
+// and content-addressed, so a stolen-and-original duplicate yields one value
+// and byte-identical bodies), and aggregates the fleet's health and metrics.
+//
+// The layering mirrors the paper's cc-NUMA machines: a worker's memory tier
+// is the local cache, its disk tier is local memory, the peer-fill tier
+// (rescache.PeerFetch, served by /v1/cache/{ns}/{digest}) is a remote-node
+// fetch, the ring is the directory that names the home node, and recompute
+// is the memory access of last resort. One X-Request-ID, minted or honored
+// at the coordinator, rides every coordinator→worker call and peer fetch, so
+// a single ID stitches the distributed trace across all logs and inspectors.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"dssmem/internal/client"
+	"dssmem/internal/experiments"
+	"dssmem/internal/rescache"
+	"dssmem/internal/telemetry"
+)
+
+// Worker names one fleet member. Name is the sharding identity (hashed onto
+// the ring, shown as the `worker` metrics label): keep it stable across
+// restarts even when the URL moves, or ~all of the worker's keyspace remaps.
+type Worker struct {
+	Name string
+	URL  string
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Preset must match every worker's preset: the coordinator computes the
+	// same content digests the workers answer under, and verifies each
+	// response's X-Digest against its own computation (a mismatch means
+	// fleet misconfiguration and fails the request rather than serving
+	// bytes of unknown identity).
+	Preset experiments.Preset
+	// Workers is the fleet roster. At least one required.
+	Workers []Worker
+	// HTTP overrides the transport for worker calls (tests, benchmarks).
+	// nil uses a dedicated client with no global timeout — per-call
+	// lifetimes come from request contexts.
+	HTTP *http.Client
+	// StealAfter is the straggler deadline: a fanned-out call not resolved
+	// within it is re-issued to the next worker on the ring while the
+	// original keeps running; first verified answer wins. 0 = 15s;
+	// negative disables stealing.
+	StealAfter time.Duration
+	// MaxAttempts bounds the retry loop of each per-worker client
+	// (0 = 3; transport errors also fail over to the next worker).
+	MaxAttempts int
+	// ScrapeTimeout bounds each worker scrape during /healthz and /metrics
+	// aggregation (0 = 3s).
+	ScrapeTimeout time.Duration
+	// Replicas is the ring's virtual-node count per worker (0 = 128).
+	Replicas int
+	// DisableCache turns off the coordinator-local result cache so every
+	// request fans out (routing-path benchmarks; production keeps it on).
+	DisableCache bool
+	// Log receives one structured line per API request. nil disables.
+	Log *slog.Logger
+	// RecentRequests sizes the /debug/requests ring (0 = default).
+	RecentRequests int
+}
+
+// Coordinator serves the /v1 API over a worker fleet. Create with New.
+type Coordinator struct {
+	cfg     Config
+	ring    *Ring
+	clients []*client.Client // index-aligned with cfg.Workers
+	store   *rescache.Store  // memory-only: coordinator result cache + singleflight
+	scrape  *http.Client     // healthz/metrics fan-in
+	mux     *http.ServeMux
+	start   time.Time
+
+	reg     *telemetry.Registry
+	tracker *telemetry.Tracker
+
+	reqTotal     *telemetry.Counter
+	reqErrors    *telemetry.Counter
+	reqSeconds   *telemetry.HistVec
+	phaseSeconds *telemetry.HistVec
+	workerCalls  *telemetry.CounterVec // by worker, outcome
+	steals       *telemetry.Counter
+	failovers    *telemetry.Counter
+	mismatches   *telemetry.Counter
+	workerUp     *telemetry.GaugeVec
+	scrapeErrs   *telemetry.CounterVec
+}
+
+// PhaseFanout is the coordinator-side phase charging time spent waiting on
+// workers (it appears in dssmem_fleet_phase_seconds and /debug/requests).
+const PhaseFanout = "fanout"
+
+// New builds a coordinator. It performs no I/O: workers are contacted
+// lazily, per request, so a coordinator can start before its fleet.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Preset.Name == "" {
+		return nil, errors.New("fleet: config needs a preset")
+	}
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: config needs at least one worker")
+	}
+	seen := make(map[string]bool, len(cfg.Workers))
+	names := make([]string, len(cfg.Workers))
+	for i, w := range cfg.Workers {
+		if w.Name == "" || w.URL == "" {
+			return nil, fmt.Errorf("fleet: worker %d needs a name and a URL", i)
+		}
+		if seen[w.Name] {
+			return nil, fmt.Errorf("fleet: duplicate worker name %q", w.Name)
+		}
+		seen[w.Name] = true
+		names[i] = w.Name
+	}
+	if cfg.StealAfter == 0 {
+		cfg.StealAfter = 15 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.ScrapeTimeout <= 0 {
+		cfg.ScrapeTimeout = 3 * time.Second
+	}
+	httpc := cfg.HTTP
+	if httpc == nil {
+		httpc = &http.Client{}
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		ring:   NewRing(names, cfg.Replicas),
+		store:  rescache.NewMemory(),
+		scrape: httpc,
+		start:  time.Now(),
+	}
+	c.clients = make([]*client.Client, len(cfg.Workers))
+	for i, w := range cfg.Workers {
+		cl, err := client.New(client.Config{
+			BaseURL:     w.URL,
+			HTTP:        httpc,
+			MaxAttempts: cfg.MaxAttempts,
+			BaseDelay:   50 * time.Millisecond,
+			MaxDelay:    2 * time.Second,
+			Seed:        int64(i + 1),
+			Log:         cfg.Log,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: worker %s: %w", w.Name, err)
+		}
+		c.clients[i] = cl
+	}
+	c.tracker = telemetry.NewTracker(cfg.RecentRequests)
+	c.initMetrics()
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.Handle("GET /debug/requests", c.tracker)
+	c.mux.Handle("GET /v1/measure", c.instrument("/v1/measure", c.handleMeasure))
+	c.mux.Handle("GET /v1/figure/{id}", c.instrument("/v1/figure", c.handleFigure))
+	c.mux.Handle("GET /v1/sweep", c.instrument("/v1/sweep", c.handleSweep))
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Registry exposes the coordinator's own metrics registry (fleet families
+// only; worker families are merged in at scrape time).
+func (c *Coordinator) Registry() *telemetry.Registry { return c.reg }
+
+// Ring exposes the shard map (tests, debugging).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// DebugRequests exposes the live request inspector (mounted at
+// /debug/requests; the debug listener mounts it too).
+func (c *Coordinator) DebugRequests() http.Handler { return c.tracker }
+
+func (c *Coordinator) initMetrics() {
+	r := telemetry.NewRegistry()
+	c.reg = r
+	c.reqTotal = r.Counter("dssmem_fleet_requests_total", "API requests handled by the coordinator.")
+	c.reqErrors = r.Counter("dssmem_fleet_request_errors_total", "Coordinator API requests that failed.")
+	c.reqSeconds = r.HistogramVec("dssmem_fleet_request_seconds", "End-to-end coordinator request latency.", nil, "endpoint")
+	c.phaseSeconds = r.HistogramVec("dssmem_fleet_phase_seconds",
+		"Coordinator request time by phase: cache_mem, fanout, encode.", nil, "phase")
+	c.workerCalls = r.CounterVec("dssmem_fleet_worker_calls_total",
+		"Coordinator→worker calls by worker and outcome (ok, error, mismatch).", "worker", "outcome")
+	c.steals = r.Counter("dssmem_fleet_steals_total",
+		"Straggler re-issues: calls re-dispatched to another worker past the steal deadline.")
+	c.failovers = r.Counter("dssmem_fleet_failovers_total",
+		"Calls moved to the next ring worker after a worker failed.")
+	c.mismatches = r.Counter("dssmem_fleet_digest_mismatch_total",
+		"Worker responses whose X-Digest disagreed with the coordinator's computation.")
+	c.workerUp = r.GaugeVec("dssmem_fleet_worker_up",
+		"Last /healthz aggregation verdict per worker (1 up, 0 down).", "worker")
+	c.scrapeErrs = r.CounterVec("dssmem_fleet_scrape_errors_total",
+		"Worker scrape failures during /metrics or /healthz aggregation.", "worker")
+	r.PollGauge("dssmem_fleet_workers", "Configured fleet size.",
+		nil, func(emit func(float64, ...string)) { emit(float64(len(c.cfg.Workers))) })
+	r.PollGauge("dssmem_fleet_uptime_seconds", "Seconds since the coordinator started.",
+		nil, func(emit func(float64, ...string)) { emit(time.Since(c.start).Seconds()) })
+}
+
+// instrument mirrors the worker-side request wrapper: ID minted or honored,
+// echoed, tracked, timed, logged — so a request that fans out across the
+// fleet reads the same way at every hop.
+func (c *Coordinator) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.reqTotal.Inc()
+		id := telemetry.CleanID(r.Header.Get("X-Request-ID"))
+		if id == "" {
+			id = telemetry.NewID()
+		}
+		q := telemetry.NewRequest(id, endpoint)
+		if n, err := strconv.Atoi(r.Header.Get("X-Request-Attempt")); err == nil && n > 1 {
+			q.Attempt = n
+		}
+		w.Header().Set("X-Request-ID", id)
+		c.tracker.Begin(q)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(telemetry.NewContext(r.Context(), q)))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		outcome := "ok"
+		if status >= 400 {
+			outcome = "error"
+		}
+		q.Finish(status, outcome)
+		c.reqSeconds.With(endpoint).Observe(q.Duration().Seconds())
+		for _, ph := range q.Phases() {
+			c.phaseSeconds.With(ph.Name).Observe(ph.Seconds)
+		}
+		c.tracker.End(q)
+		c.logRequest(r, q)
+	})
+}
+
+func (c *Coordinator) logRequest(r *http.Request, q *telemetry.Request) {
+	if c.cfg.Log == nil {
+		return
+	}
+	v := q.View()
+	args := []any{
+		"req", v.ID,
+		"endpoint", v.Endpoint,
+		"query", r.URL.RawQuery,
+		"status", v.Status,
+		"outcome", v.Outcome,
+		"duration_ms", v.DurationMS,
+	}
+	if v.Digest != "" {
+		args = append(args, "digest", v.Digest)
+	}
+	if v.Cache != "" {
+		args = append(args, "cache", v.Cache)
+	}
+	for _, ph := range v.Phases {
+		args = append(args, "phase_"+ph.Name+"_ms", ph.DurationMS)
+	}
+	level := slog.LevelInfo
+	switch {
+	case v.Status >= 500:
+		level = slog.LevelError
+	case v.Status >= 400:
+		level = slog.LevelWarn
+	}
+	c.cfg.Log.Log(r.Context(), level, "request", args...)
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// ParseWorkers parses a fleet roster flag: comma-separated "name=url" pairs
+// (bare "url" elements take the URL as the name — stable only as long as the
+// URL is).
+func ParseWorkers(spec string) ([]Worker, error) {
+	var out []Worker
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, raw, ok := strings.Cut(part, "=")
+		if !ok {
+			name, raw = part, part
+		}
+		u, err := url.Parse(raw)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("fleet: worker %q: bad URL %q (want http[s]://host:port)", name, raw)
+		}
+		out = append(out, Worker{Name: name, URL: strings.TrimRight(raw, "/")})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("fleet: empty worker list")
+	}
+	return out, nil
+}
+
+// fail writes the coordinator's structured error body (the same shape the
+// workers use, so internal/client's decoding works unchanged).
+func (c *Coordinator) fail(w http.ResponseWriter, status int, retriable bool, retryAfter time.Duration, err error) {
+	c.reqErrors.Inc()
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if retriable {
+		secs := int(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		h.Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error     string `json:"error"`
+		Retriable bool   `json:"retriable"`
+		Status    int    `json:"status"`
+	}{err.Error(), retriable, status})
+}
+
+// failFetch maps a fan-out error onto an HTTP response: a worker's API error
+// propagates its status, retriability and Retry-After hint; anything else
+// (transport failure with every candidate exhausted) is a retriable 502.
+func (c *Coordinator) failFetch(w http.ResponseWriter, err error) {
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		c.fail(w, ae.Status, ae.Retriable, ae.RetryAfter, err)
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		c.fail(w, http.StatusServiceUnavailable, true, 0, err)
+		return
+	}
+	c.fail(w, http.StatusBadGateway, true, 0, err)
+}

@@ -1,0 +1,481 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dssmem/internal/experiments"
+	"dssmem/internal/service"
+	"dssmem/internal/telemetry"
+	"dssmem/internal/tpch"
+	"dssmem/internal/workload"
+)
+
+// The fleet tests run real service.Server workers behind in-process proxies
+// that can observe headers, inject latency, and die like a SIGKILLed process
+// (connection closed, no HTTP reply) — so coordinator behavior is tested
+// against the failure modes it exists for, without real process management.
+
+var (
+	tinyDataOnce sync.Once
+	tinyData     *tpch.Data
+)
+
+func sharedTinyData() *tpch.Data {
+	tinyDataOnce.Do(func() { tinyData = tpch.Generate(experiments.Tiny.SF, experiments.Tiny.Seed) })
+	return tinyData
+}
+
+// proxyWorker fronts one worker with kill/latency/observation controls.
+type proxyWorker struct {
+	name  string
+	ts    *httptest.Server
+	srv   atomic.Pointer[service.Server]
+	dead  atomic.Bool
+	delay atomic.Int64 // ns slept before forwarding /v1 requests
+
+	mu      sync.Mutex
+	seenIDs []string // X-Request-ID of every inbound request
+}
+
+func (p *proxyWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	p.seenIDs = append(p.seenIDs, r.Header.Get("X-Request-ID"))
+	p.mu.Unlock()
+	if p.dead.Load() {
+		// A killed process never writes an HTTP reply: drop the connection.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		panic(http.ErrAbortHandler)
+	}
+	if d := p.delay.Load(); d > 0 && strings.HasPrefix(r.URL.Path, "/v1/") {
+		time.Sleep(time.Duration(d))
+	}
+	p.srv.Load().Handler().ServeHTTP(w, r)
+}
+
+// kill makes the worker unreachable and severs every live connection.
+func (p *proxyWorker) kill() {
+	p.dead.Store(true)
+	p.ts.CloseClientConnections()
+}
+
+// restart brings the worker back as a fresh process would come back: new
+// server state behind the same address.
+func (p *proxyWorker) restart(t *testing.T, cfg service.Config) {
+	t.Helper()
+	old := p.srv.Swap(newWorkerServer(t, cfg))
+	old.Close()
+	p.dead.Store(false)
+}
+
+func (p *proxyWorker) ids() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.seenIDs...)
+}
+
+func newWorkerServer(t *testing.T, cfg service.Config) *service.Server {
+	t.Helper()
+	if cfg.Preset.Name == "" {
+		cfg.Preset = experiments.Tiny
+		cfg.Data = sharedTinyData()
+	}
+	srv, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func newProxyWorker(t *testing.T, name string, cfg service.Config) *proxyWorker {
+	t.Helper()
+	p := &proxyWorker{name: name}
+	p.srv.Store(newWorkerServer(t, cfg))
+	p.ts = httptest.NewServer(p)
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+// newFleet builds n workers and a coordinator over them; cfgFn (when non-nil)
+// adjusts the coordinator config before New.
+func newFleet(t *testing.T, n int, cfgFn func(*Config)) ([]*proxyWorker, *Coordinator, *httptest.Server) {
+	t.Helper()
+	workers := make([]*proxyWorker, n)
+	roster := make([]Worker, n)
+	for i := range workers {
+		name := fmt.Sprintf("w%d", i)
+		workers[i] = newProxyWorker(t, name, service.Config{})
+		roster[i] = Worker{Name: name, URL: workers[i].ts.URL}
+	}
+	cfg := Config{
+		Preset:        experiments.Tiny,
+		Workers:       roster,
+		StealAfter:    -1, // individual tests opt in
+		MaxAttempts:   2,
+		ScrapeTimeout: 2 * time.Second,
+	}
+	if cfgFn != nil {
+		cfgFn(&cfg)
+	}
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	t.Cleanup(ts.Close)
+	return workers, coord, ts
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, hdr ...string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// metricValue extracts one unlabeled sample value from an exposition.
+func metricValue(body []byte, name string) float64 {
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+func coordMetric(t *testing.T, coord *Coordinator, name string) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	coord.Registry().WriteText(&buf)
+	return metricValue(buf.Bytes(), name)
+}
+
+// TestFleetByteIdentity is the core contract: the coordinator's answers are
+// byte-for-byte the answers a single node gives — sharding, splicing, and
+// the coordinator cache are invisible to clients.
+func TestFleetByteIdentity(t *testing.T) {
+	ref := httptest.NewServer(newWorkerServer(t, service.Config{}).Handler())
+	defer ref.Close()
+	_, _, coord := newFleet(t, 3, nil)
+
+	paths := []string{
+		"/v1/measure?machine=vclass&cpus=4&query=Q6&procs=2",
+		"/v1/measure?machine=origin&query=Q12&procs=1",
+		"/v1/sweep?machine=vclass&query=Q6",
+	}
+	for _, p := range paths {
+		refResp, refBody := get(t, ref, p)
+		for round := 0; round < 2; round++ { // miss then coordinator-cache hit
+			resp, body := get(t, coord, p)
+			if resp.StatusCode != 200 {
+				t.Fatalf("%s round %d: %d %s", p, round, resp.StatusCode, body)
+			}
+			if got, want := resp.Header.Get("X-Digest"), refResp.Header.Get("X-Digest"); got != want {
+				t.Fatalf("%s round %d: X-Digest %s, single-node %s", p, round, got, want)
+			}
+			if strings.Contains(p, "sweep") {
+				if !bytes.Equal(body, refBody) {
+					t.Fatalf("%s round %d: fleet sweep body differs from single node:\n got %s\nwant %s", p, round, body, refBody)
+				}
+				continue
+			}
+			var got, want struct {
+				Digest      string          `json:"digest"`
+				Measurement json.RawMessage `json:"measurement"`
+			}
+			if err := json.Unmarshal(body, &got); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(refBody, &want); err != nil {
+				t.Fatal(err)
+			}
+			if got.Digest != want.Digest || string(got.Measurement) != string(want.Measurement) {
+				t.Fatalf("%s round %d: fleet measurement differs from single node:\n got %s\nwant %s",
+					p, round, got.Measurement, want.Measurement)
+			}
+		}
+		// Second fetch must be a coordinator-cache hit.
+		resp, _ := get(t, coord, p)
+		if resp.Header.Get("X-Cache") != "hit" {
+			t.Errorf("%s: second fetch X-Cache = %q, want hit", p, resp.Header.Get("X-Cache"))
+		}
+	}
+}
+
+// TestFleetRequestIDPropagation: one inbound X-Request-ID must appear on
+// every coordinator→worker hop of the request it names.
+func TestFleetRequestIDPropagation(t *testing.T) {
+	workers, _, coord := newFleet(t, 3, nil)
+
+	const id = "fleet-trace-0001"
+	resp, body := get(t, coord, "/v1/sweep?machine=vclass&query=Q6", "X-Request-ID", id)
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Request-ID") != id {
+		t.Errorf("coordinator echoed X-Request-ID %q, want %q", resp.Header.Get("X-Request-ID"), id)
+	}
+	hops := 0
+	for _, w := range workers {
+		for _, seen := range w.ids() {
+			hops++
+			if seen != id {
+				t.Errorf("worker %s saw X-Request-ID %q, want %q", w.name, seen, id)
+			}
+		}
+	}
+	if hops < len(experiments.ProcCounts) {
+		t.Errorf("sweep produced %d worker hops, want at least one per point (%d)", hops, len(experiments.ProcCounts))
+	}
+}
+
+// TestFleetWorkSteal: a straggling owner is raced by the ring successor and
+// the client still gets the right bytes, on time.
+func TestFleetWorkSteal(t *testing.T) {
+	ref := httptest.NewServer(newWorkerServer(t, service.Config{}).Handler())
+	defer ref.Close()
+	workers, coord, cts := newFleet(t, 2, func(c *Config) {
+		c.StealAfter = 75 * time.Millisecond
+	})
+
+	const path = "/v1/measure?machine=vclass&cpus=2&query=Q6&procs=1"
+	spec, err := service.ParseMachine("vclass", "2", experiments.Tiny.MemScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := service.ParseQuery("Q6")
+	dig := service.MeasureDigest(experiments.Tiny, q, 1, workload.Options{Spec: spec})
+	owner := coord.Ring().Owner(string(dig))
+
+	// The owner answers, but far too slowly; the successor is prewarmed so
+	// the stolen call returns fast and deterministically wins the race.
+	_, refBody := get(t, ref, path)
+	get(t, workers[1-owner].ts, path)
+	workers[owner].delay.Store(int64(2 * time.Second))
+
+	start := time.Now()
+	resp, body := get(t, cts, path)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stolen measure: %d %s", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("stolen measure took %v, stealing should beat the %v straggler", elapsed, 2*time.Second)
+	}
+	var got, want struct {
+		Measurement json.RawMessage `json:"measurement"`
+	}
+	json.Unmarshal(body, &got)
+	json.Unmarshal(refBody, &want)
+	if string(got.Measurement) != string(want.Measurement) {
+		t.Fatalf("stolen measurement differs from single node:\n got %s\nwant %s", got.Measurement, want.Measurement)
+	}
+	if v := coordMetric(t, coord, "dssmem_fleet_steals_total"); v < 1 {
+		t.Errorf("dssmem_fleet_steals_total = %v, want >= 1", v)
+	}
+}
+
+// TestFleetFailover: a dead owner's keyspace is served by the ring successor.
+func TestFleetFailover(t *testing.T) {
+	workers, coord, cts := newFleet(t, 2, nil)
+
+	const path = "/v1/measure?machine=vclass&cpus=2&query=Q6&procs=1"
+	spec, _ := service.ParseMachine("vclass", "2", experiments.Tiny.MemScale)
+	q, _ := service.ParseQuery("Q6")
+	dig := service.MeasureDigest(experiments.Tiny, q, 1, workload.Options{Spec: spec})
+	owner := coord.Ring().Owner(string(dig))
+	workers[owner].kill()
+
+	resp, body := get(t, cts, path)
+	if resp.StatusCode != 200 {
+		t.Fatalf("failover measure: %d %s", resp.StatusCode, body)
+	}
+	if v := coordMetric(t, coord, "dssmem_fleet_failovers_total"); v < 1 {
+		t.Errorf("dssmem_fleet_failovers_total = %v, want >= 1", v)
+	}
+}
+
+// TestFleetDigestMismatch: a worker running the wrong preset computes under
+// different content addresses; the coordinator must refuse its answers and
+// fail over rather than serve bytes of unknown identity.
+func TestFleetDigestMismatch(t *testing.T) {
+	good := newProxyWorker(t, "good", service.Config{})
+	skewed := newProxyWorker(t, "skewed", service.Config{
+		Preset: experiments.Small, // wrong preset: digests disagree
+		Data:   tpch.Generate(experiments.Small.SF, experiments.Small.Seed),
+	})
+	coord, err := New(Config{
+		Preset: experiments.Tiny,
+		Workers: []Worker{
+			{Name: "good", URL: good.ts.URL},
+			{Name: "skewed", URL: skewed.ts.URL},
+		},
+		StealAfter:  -1,
+		MaxAttempts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	// Every point of a sweep hits both workers' keyspaces with high
+	// probability; all five must come back, all verified.
+	resp, body := get(t, cts, "/v1/sweep?machine=vclass&query=Q6")
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep with skewed worker: %d %s", resp.StatusCode, body)
+	}
+	if v := coordMetric(t, coord, "dssmem_fleet_digest_mismatch_total"); v < 1 {
+		t.Skip("ring routed no point to the skewed worker (unlikely); nothing to verify")
+	}
+	ref := httptest.NewServer(newWorkerServer(t, service.Config{}).Handler())
+	defer ref.Close()
+	_, refBody := get(t, ref, "/v1/sweep?machine=vclass&query=Q6")
+	if !bytes.Equal(body, refBody) {
+		t.Fatalf("sweep past a skewed worker differs from single node:\n got %s\nwant %s", body, refBody)
+	}
+}
+
+// TestFleetPeerFill: a worker's local miss is filled from the peer that
+// already holds the digest — verified, charged to the peer tier, and with
+// the same X-Request-ID on the peer hop.
+func TestFleetPeerFill(t *testing.T) {
+	w1 := newProxyWorker(t, "w1", service.Config{})
+	pf, err := NewPeerFetch([]Worker{{Name: "w1", URL: w1.ts.URL}}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := newProxyWorker(t, "w0", service.Config{PeerFetch: pf})
+
+	const path = "/v1/measure?machine=vclass&cpus=2&query=Q6&procs=1"
+	_, primed := get(t, w1.ts, path) // w1 computes and caches
+
+	const id = "peer-trace-0001"
+	resp, body := get(t, w0.ts, path, "X-Request-ID", id)
+	if resp.StatusCode != 200 {
+		t.Fatalf("peer-filled measure: %d %s", resp.StatusCode, body)
+	}
+	var got, want struct {
+		Measurement json.RawMessage `json:"measurement"`
+	}
+	json.Unmarshal(body, &got)
+	json.Unmarshal(primed, &want)
+	if string(got.Measurement) != string(want.Measurement) {
+		t.Fatalf("peer-filled measurement differs:\n got %s\nwant %s", got.Measurement, want.Measurement)
+	}
+
+	st := w0.srv.Load().Store().Stats()
+	if st.PeerHits != 1 {
+		t.Errorf("w0 PeerHits = %d, want 1 (stats: %+v)", st.PeerHits, st)
+	}
+	var buf bytes.Buffer
+	w0.srv.Load().Registry().WriteText(&buf)
+	if v := metricValue(buf.Bytes(), "dssmem_runs_total"); v != 0 {
+		t.Errorf("w0 ran %v simulations, want 0 — the peer fill should have answered", v)
+	}
+	if v := metricValue(buf.Bytes(), "dssmem_cache_peer_hits_total"); v != 1 {
+		t.Errorf("dssmem_cache_peer_hits_total = %v, want 1", v)
+	}
+
+	peerHop := false
+	for _, seen := range w1.ids() {
+		if seen == id {
+			peerHop = true
+		}
+	}
+	if !peerHop {
+		t.Errorf("peer fetch did not carry the inbound X-Request-ID %q (w1 saw %v)", id, w1.ids())
+	}
+}
+
+// TestFleetMetricsRollup: the merged /metrics page is lint-clean, carries
+// the coordinator's own families, and re-exposes worker families with the
+// worker label.
+func TestFleetMetricsRollup(t *testing.T) {
+	_, _, cts := newFleet(t, 2, nil)
+	get(t, cts, "/v1/measure?machine=vclass&cpus=2&query=Q6&procs=1")
+
+	resp, body := get(t, cts, "/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	rep, err := telemetry.Lint(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Problems) > 0 {
+		t.Fatalf("fleet /metrics fails lint:\n%s", strings.Join(rep.Problems, "\n"))
+	}
+	for _, want := range []string{
+		"dssmem_fleet_requests_total",
+		"dssmem_fleet_worker_calls_total",
+		`dssmem_requests_total{worker="w0"}`,
+		`dssmem_requests_total{worker="w1"}`,
+		`dssmem_phase_seconds_bucket{worker="w0",phase=`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("fleet /metrics missing %q", want)
+		}
+	}
+}
+
+// TestFleetHealthz: ok with a healthy fleet, partial with a dead worker, ok
+// again once it returns.
+func TestFleetHealthz(t *testing.T) {
+	workers, _, cts := newFleet(t, 2, nil)
+
+	status := func() string {
+		_, body := get(t, cts, "/healthz")
+		var h struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatalf("healthz: %s: %v", body, err)
+		}
+		return h.Status
+	}
+
+	if got := status(); got != "ok" {
+		t.Fatalf("healthy fleet: healthz %q, want ok", got)
+	}
+	workers[0].kill()
+	if got := status(); got != "partial" {
+		t.Fatalf("fleet with dead worker: healthz %q, want partial", got)
+	}
+	workers[0].restart(t, service.Config{})
+	if got := status(); got != "ok" {
+		t.Fatalf("fleet after restart: healthz %q, want ok", got)
+	}
+}

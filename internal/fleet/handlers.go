@@ -1,0 +1,542 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dssmem/internal/client"
+	"dssmem/internal/experiments"
+	"dssmem/internal/rescache"
+	"dssmem/internal/service"
+	"dssmem/internal/telemetry"
+	"dssmem/internal/workload"
+)
+
+// ---- fan-out core ----
+
+type fetchResult struct {
+	resp *client.Response
+	err  error
+}
+
+// raceFetch resolves one fanned-out worker call with verification, failover
+// and work stealing. The call goes to the key's ring owner first. If that
+// attempt fails outright (transport error, 5xx after the per-worker client's
+// retries) it fails over to the next worker on the ring immediately; if it is
+// merely slow — no answer within StealAfter — the same call is re-issued to
+// the next worker while the original keeps running, and the first verified
+// answer wins. Stealing is safe because every call is a pure function of its
+// path, addressed by content digest: a duplicate execution produces the same
+// bytes, and the loser's result is simply discarded.
+//
+// Every response's X-Digest is checked against want — the coordinator's own
+// computation of the content address. A mismatch means the worker is
+// misconfigured (wrong preset, wrong version) and is treated as a failure of
+// that worker, never served.
+func (c *Coordinator) raceFetch(ctx context.Context, key, path string, want rescache.Digest) (*client.Response, error) {
+	seq := c.ring.Seq(key)
+	fanCtx, cancel := context.WithCancel(ctx)
+	defer cancel() // releases the losers once a winner returns
+	results := make(chan fetchResult, len(seq))
+
+	launched, outstanding := 0, 0
+	launch := func() {
+		wi := seq[launched]
+		launched++
+		outstanding++
+		name, cl := c.cfg.Workers[wi].Name, c.clients[wi]
+		go func() {
+			resp, err := cl.Get(fanCtx, path)
+			if err == nil {
+				if got := resp.Header.Get("X-Digest"); got != string(want) {
+					c.workerCalls.With(name, "mismatch").Inc()
+					c.mismatches.Inc()
+					resp, err = nil, fmt.Errorf("fleet: worker %s answered %s with digest %q, want %q (preset or version skew)",
+						name, path, got, want)
+				} else {
+					c.workerCalls.With(name, "ok").Inc()
+				}
+			} else if !errors.Is(err, context.Canceled) {
+				c.workerCalls.With(name, "error").Inc()
+			}
+			results <- fetchResult{resp, err}
+		}()
+	}
+	launch()
+
+	var stealC <-chan time.Time
+	var timer *time.Timer
+	if c.cfg.StealAfter > 0 {
+		timer = time.NewTimer(c.cfg.StealAfter)
+		defer timer.Stop()
+		stealC = timer.C
+	}
+
+	var lastErr error
+	for {
+		select {
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				return r.resp, nil
+			}
+			if lastErr == nil || !errors.Is(r.err, context.Canceled) {
+				lastErr = r.err
+			}
+			// A worker's definitive non-retriable verdict (bad request,
+			// unknown figure) is the same on every worker — the parameters,
+			// not the worker, are at fault. Don't burn the rest of the ring.
+			var ae *client.APIError
+			if errors.As(r.err, &ae) && ae.Status < 500 && ae.Status != http.StatusTooManyRequests {
+				return nil, r.err
+			}
+			if launched < len(seq) {
+				c.failovers.Inc()
+				launch()
+			} else if outstanding == 0 {
+				return nil, lastErr
+			}
+		case <-stealC:
+			if launched < len(seq) {
+				c.steals.Inc()
+				launch()
+			}
+			timer.Reset(c.cfg.StealAfter)
+		case <-ctx.Done():
+			return nil, fmt.Errorf("fleet: %w", context.Cause(ctx))
+		}
+	}
+}
+
+// fanout is the cache-or-fetch cycle every API handler runs: coordinator
+// cache first (memory-only, with singleflight — a thundering herd on one
+// digest costs one fan-out), then raceFetch, with extract (when non-nil)
+// reducing the worker's body to the cacheable value.
+func (c *Coordinator) fanout(ctx context.Context, ns string, dig rescache.Digest, path string, extract func([]byte) ([]byte, error)) ([]byte, bool, error) {
+	fetch := func(runCtx context.Context) ([]byte, error) {
+		defer telemetry.FromContext(runCtx).StartPhase(PhaseFanout)()
+		resp, err := c.raceFetch(runCtx, string(dig), path, dig)
+		if err != nil {
+			return nil, err
+		}
+		if extract != nil {
+			return extract(resp.Body)
+		}
+		return resp.Body, nil
+	}
+	if c.cfg.DisableCache {
+		v, err := fetch(ctx)
+		return v, false, err
+	}
+	return c.store.Do(ctx, ns, dig, fetch)
+}
+
+// extractMeasurement pulls the measurement object out of a worker's
+// /v1/measure body. The coordinator caches (and re-serves) only this part:
+// the wrapper's "cache" word describes the worker's cache at one instant and
+// must not be frozen into the coordinator's cache.
+func extractMeasurement(body []byte) (json.RawMessage, error) {
+	var wrap struct {
+		Measurement json.RawMessage `json:"measurement"`
+	}
+	if err := json.Unmarshal(body, &wrap); err != nil {
+		return nil, fmt.Errorf("fleet: undecodable worker measure response: %w", err)
+	}
+	if len(wrap.Measurement) == 0 {
+		return nil, errors.New("fleet: worker measure response has no measurement")
+	}
+	return wrap.Measurement, nil
+}
+
+// ---- API handlers ----
+
+func (c *Coordinator) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	qp := r.URL.Query()
+	spec, err := service.ParseMachine(qp.Get("machine"), qp.Get("cpus"), c.cfg.Preset.MemScale)
+	if err != nil {
+		c.fail(w, http.StatusBadRequest, false, 0, err)
+		return
+	}
+	q, err := service.ParseQuery(qp.Get("query"))
+	if err != nil {
+		c.fail(w, http.StatusBadRequest, false, 0, err)
+		return
+	}
+	procs, err := parseIntDefault(qp.Get("procs"), 1)
+	if err != nil || procs < 1 {
+		c.fail(w, http.StatusBadRequest, false, 0, fmt.Errorf("bad procs %q", qp.Get("procs")))
+		return
+	}
+	trial, err := parseIntDefault(qp.Get("trial"), 0)
+	if err != nil {
+		c.fail(w, http.StatusBadRequest, false, 0, fmt.Errorf("bad trial %q", qp.Get("trial")))
+		return
+	}
+	opts := workload.Options{Spec: spec, Trial: trial, ColdRun: boolParam(qp.Get("cold"))}
+	dig := service.MeasureDigest(c.cfg.Preset, q, procs, opts)
+
+	// The original query string is forwarded verbatim: workers parse it with
+	// the same code that fed the digest above, so the worker's X-Digest must
+	// agree or raceFetch rejects the answer.
+	meas, hit, err := c.fanout(r.Context(), rescache.NSMeasurement, dig, "/v1/measure?"+r.URL.RawQuery,
+		func(body []byte) ([]byte, error) { return extractMeasurement(body) })
+	if err != nil {
+		c.failFetch(w, err)
+		return
+	}
+	body, err := json.Marshal(struct {
+		Digest      string          `json:"digest"`
+		Cache       string          `json:"cache"`
+		Measurement json.RawMessage `json:"measurement"`
+	}{string(dig), cacheWord(hit), meas})
+	if err != nil {
+		c.fail(w, http.StatusInternalServerError, false, 0, err)
+		return
+	}
+	c.respondRaw(w, r, hit, dig, body)
+}
+
+func (c *Coordinator) handleFigure(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		c.fail(w, http.StatusBadRequest, false, 0, fmt.Errorf("bad figure id %q", r.PathValue("id")))
+		return
+	}
+	dig, err := service.FigureDigest(c.cfg.Preset, id)
+	if err != nil {
+		c.fail(w, http.StatusInternalServerError, false, 0, err)
+		return
+	}
+	// A figure is one indivisible computation; it routes whole to the
+	// digest's owner and the body is cached and re-served verbatim.
+	raw, hit, err := c.fanout(r.Context(), rescache.NSFigure, dig, "/v1/figure/"+strconv.Itoa(id), nil)
+	if err != nil {
+		c.failFetch(w, err)
+		return
+	}
+	c.respondRaw(w, r, hit, dig, raw)
+}
+
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	qp := r.URL.Query()
+	spec, err := service.ParseMachine(qp.Get("machine"), qp.Get("cpus"), c.cfg.Preset.MemScale)
+	if err != nil {
+		c.fail(w, http.StatusBadRequest, false, 0, err)
+		return
+	}
+	q, err := service.ParseQuery(qp.Get("query"))
+	if err != nil {
+		c.fail(w, http.StatusBadRequest, false, 0, err)
+		return
+	}
+	dig, err := service.SweepDigest(c.cfg.Preset, spec, q)
+	if err != nil {
+		c.fail(w, http.StatusInternalServerError, false, 0, err)
+		return
+	}
+
+	// The sweep is where sharding earns its keep: each process-count point is
+	// an independent measurement with its own content digest and its own home
+	// worker, so the curve's points compute on different machines in
+	// parallel. The coordinator reassembles them in ProcCounts order into a
+	// struct shaped exactly like core.Series (same field order, no tags), so
+	// the merged body is byte-identical to a single node's — the simulations
+	// are deterministic and JSON re-encoding is stable, so the splice is
+	// invisible to clients.
+	fetch := func(runCtx context.Context) ([]byte, error) {
+		defer telemetry.FromContext(runCtx).StartPhase(PhaseFanout)()
+		points := make([]json.RawMessage, len(experiments.ProcCounts))
+		errs := make([]error, len(experiments.ProcCounts))
+		var wg sync.WaitGroup
+		for i, n := range experiments.ProcCounts {
+			pdig := service.MeasureDigest(c.cfg.Preset, q, n, workload.Options{Spec: spec})
+			vals := url.Values{}
+			for _, p := range []string{"machine", "cpus", "query"} {
+				if v := qp.Get(p); v != "" {
+					vals.Set(p, v)
+				}
+			}
+			vals.Set("procs", strconv.Itoa(n))
+			path := "/v1/measure?" + vals.Encode()
+			wg.Add(1)
+			go func(i int, path string, pdig rescache.Digest) {
+				defer wg.Done()
+				resp, err := c.raceFetch(runCtx, string(pdig), path, pdig)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				points[i], errs[i] = extractMeasurement(resp.Body)
+				if errs[i] == nil && !c.cfg.DisableCache {
+					// Seed the per-point cache too: a later /v1/measure for
+					// this exact point is answered locally.
+					c.store.Put(rescache.NSMeasurement, pdig, points[i])
+				}
+			}(i, path, pdig)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return json.Marshal(struct {
+			Machine string
+			Query   string
+			Points  []json.RawMessage
+		}{spec.Name, q.String(), points})
+	}
+
+	var raw []byte
+	var hit bool
+	if c.cfg.DisableCache {
+		raw, err = fetch(r.Context())
+	} else {
+		raw, hit, err = c.store.Do(r.Context(), rescache.NSSweep, dig, fetch)
+	}
+	if err != nil {
+		c.failFetch(w, err)
+		return
+	}
+	c.respondRaw(w, r, hit, dig, raw)
+}
+
+// ---- health and metrics aggregation ----
+
+type workerHealth struct {
+	Name   string `json:"name"`
+	Status string `json:"status"` // ok | degraded | down
+	Error  string `json:"error,omitempty"`
+}
+
+// handleHealthz aggregates the fleet's health: "ok" when every worker
+// answers healthy, "degraded" when all answer but at least one runs
+// memory-only, "partial" when at least one worker is unreachable (the fleet
+// still serves — its keyspace fails over — but with reduced capacity).
+// Always 200: a coordinator with a degraded fleet is serving, not dead.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type scraped struct {
+		i    int
+		body []byte
+		err  error
+	}
+	ch := make(chan scraped, len(c.cfg.Workers))
+	for i := range c.cfg.Workers {
+		go func(i int) {
+			b, err := c.scrapeWorker(r.Context(), i, "/healthz")
+			ch <- scraped{i, b, err}
+		}(i)
+	}
+	health := make([]workerHealth, len(c.cfg.Workers))
+	status := "ok"
+	for range c.cfg.Workers {
+		s := <-ch
+		name := c.cfg.Workers[s.i].Name
+		h := workerHealth{Name: name, Status: "ok"}
+		if s.err == nil {
+			var wh struct {
+				Status string `json:"status"`
+			}
+			if err := json.Unmarshal(s.body, &wh); err != nil {
+				s.err = fmt.Errorf("fleet: %s: undecodable healthz: %w", name, err)
+			} else if wh.Status != "ok" {
+				h.Status = wh.Status
+				if status == "ok" {
+					status = "degraded"
+				}
+			}
+		}
+		if s.err != nil {
+			h.Status = "down"
+			h.Error = s.err.Error()
+			c.scrapeErrs.With(name).Inc()
+			status = "partial"
+			c.workerUp.With(name).Set(0)
+		} else {
+			c.workerUp.With(name).Set(1)
+		}
+		health[s.i] = h
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Status  string         `json:"status"`
+		Role    string         `json:"role"`
+		Preset  string         `json:"preset"`
+		Workers []workerHealth `json:"workers"`
+		UptimeS int64          `json:"uptime_seconds"`
+	}{status, "coordinator", c.cfg.Preset.Name, health, int64(time.Since(c.start).Seconds())})
+}
+
+// handleMetrics serves the fleet rollup: the coordinator's own families
+// (dssmem_fleet_*) followed by every reachable worker's families with a
+// `worker` label injected — worker families keep their dssmem_* names, so
+// the two namespaces never collide and the merged page stays lint-clean.
+// An unreachable worker's series are absent (and counted), never fabricated.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	type scraped struct {
+		i    int
+		body []byte
+		err  error
+	}
+	ch := make(chan scraped, len(c.cfg.Workers))
+	for i := range c.cfg.Workers {
+		go func(i int) {
+			b, err := c.scrapeWorker(r.Context(), i, "/metrics")
+			ch <- scraped{i, b, err}
+		}(i)
+	}
+	srcs := make([]telemetry.Exposition, 0, len(c.cfg.Workers))
+	bodies := make([][]byte, len(c.cfg.Workers))
+	for range c.cfg.Workers {
+		s := <-ch
+		if s.err != nil {
+			c.scrapeErrs.With(c.cfg.Workers[s.i].Name).Inc()
+			continue
+		}
+		bodies[s.i] = s.body
+	}
+	for i, b := range bodies { // roster order, not arrival order
+		if b != nil {
+			srcs = append(srcs, telemetry.Exposition{Source: c.cfg.Workers[i].Name, Text: string(b)})
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.reg.WriteText(w)
+	if err := telemetry.MergeExpositions(w, "worker", srcs); err != nil && c.cfg.Log != nil {
+		c.cfg.Log.Error("metrics rollup failed", "err", err)
+	}
+}
+
+// scrapeWorker fetches one worker-local endpoint within ScrapeTimeout.
+func (c *Coordinator) scrapeWorker(ctx context.Context, i int, path string) ([]byte, error) {
+	w := c.cfg.Workers[i]
+	sctx, cancel := context.WithTimeout(ctx, c.cfg.ScrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, w.URL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.scrape.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: scraping %s%s: %w", w.Name, path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: scraping %s%s: %w", w.Name, path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: scraping %s%s: HTTP %d", w.Name, path, resp.StatusCode)
+	}
+	return b, nil
+}
+
+// ---- worker-side peer fill ----
+
+// NewPeerFetch builds the worker-side peer-fill tier for rescache: on a full
+// local miss, ask the fleet peers holding the digest's neighborhood (ring
+// order, up to maxTries peers) for the entry before recomputing. The peers
+// answer from their local tiers only — /v1/cache never computes — so the
+// worst case is maxTries cheap 404s, and the fetched bytes arrive in the
+// checksummed frame and are verified before use. maxTries 0 means 2: the
+// home worker plus one successor covers both steady state and one recent
+// remap or steal.
+func NewPeerFetch(peers []Worker, httpc *http.Client, maxTries int) (rescache.PeerFetch, error) {
+	if len(peers) == 0 {
+		return nil, errors.New("fleet: peer fetch needs at least one peer")
+	}
+	if maxTries <= 0 {
+		maxTries = 2
+	}
+	if maxTries > len(peers) {
+		maxTries = len(peers)
+	}
+	names := make([]string, len(peers))
+	clients := make([]*client.Client, len(peers))
+	for i, p := range peers {
+		if p.Name == "" || p.URL == "" {
+			return nil, fmt.Errorf("fleet: peer %d needs a name and a URL", i)
+		}
+		names[i] = p.Name
+		cl, err := client.New(client.Config{
+			BaseURL:     p.URL,
+			HTTP:        httpc,
+			MaxAttempts: 1, // a peer fetch is an optimization; never retry-storm it
+			Seed:        int64(i + 1),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: peer %s: %w", p.Name, err)
+		}
+		clients[i] = cl
+	}
+	ring := NewRing(names, 0)
+	return func(ctx context.Context, ns string, d rescache.Digest) ([]byte, error) {
+		var lastErr error
+		for _, wi := range ring.Seq(string(d))[:maxTries] {
+			resp, err := clients[wi].Get(ctx, "/v1/cache/"+ns+"/"+string(d))
+			if err == nil {
+				return resp.Body, nil
+			}
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			var ae *client.APIError
+			if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+				continue // healthy miss: this peer just doesn't hold it
+			}
+			lastErr = err // transport-level trouble: feeds the peer breaker
+		}
+		if lastErr != nil {
+			return nil, lastErr
+		}
+		return nil, rescache.ErrPeerMiss
+	}, nil
+}
+
+// ---- small parsers (mirror internal/service's parameter discipline) ----
+
+func cacheWord(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func (c *Coordinator) respondRaw(w http.ResponseWriter, r *http.Request, hit bool, dig rescache.Digest, body []byte) {
+	q := telemetry.FromContext(r.Context())
+	q.SetDigest(string(dig))
+	q.SetCache(cacheWord(hit))
+	defer q.StartPhase(telemetry.PhaseEncode)()
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Cache", cacheWord(hit))
+	h.Set("X-Digest", string(dig))
+	w.Write(body)
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		w.Write([]byte("\n"))
+	}
+}
+
+func parseIntDefault(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func boolParam(v string) bool {
+	switch strings.ToLower(v) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}

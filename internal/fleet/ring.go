@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// The shard map is a consistent-hash ring over the content-addressed
+// keyspace: each worker owns the arc below each of its virtual nodes, so a
+// digest's owner is a pure function of the worker set — deterministic across
+// coordinators and restarts (the hash is unseeded SHA-256) — and adding or
+// removing one worker remaps only ~1/N of the keyspace instead of reshuffling
+// everything. This is the fleet analogue of the paper's cc-NUMA home-node
+// assignment: every cache line (here: every result digest) has a stable home,
+// and requests go home first.
+
+// defaultReplicas is the virtual-node count per worker. 128 keeps the
+// ownership split within a few percent of even for small fleets while the
+// ring stays tiny (N×128 points).
+const defaultReplicas = 128
+
+// Ring maps string keys (rescache digests) to worker indices.
+type Ring struct {
+	points []ringPoint
+	n      int
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker int
+}
+
+// NewRing builds the shard map for the named workers. Names are the hashed
+// identity: keep them stable across restarts and URL changes or the keyspace
+// remaps. Panics on an empty worker set — a fleet with no workers cannot
+// route anything.
+func NewRing(names []string, replicas int) *Ring {
+	if len(names) == 0 {
+		panic("fleet: ring needs at least one worker")
+	}
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &Ring{n: len(names), points: make([]ringPoint, 0, len(names)*replicas)}
+	for wi, name := range names {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s\x00%d", name, v)), worker: wi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].worker < r.points[j].worker // total order on (unlikely) collisions
+	})
+	return r
+}
+
+// Workers reports the worker count.
+func (r *Ring) Workers() int { return r.n }
+
+// Owner returns the worker index owning key.
+func (r *Ring) Owner(key string) int {
+	return r.points[r.search(ringHash(key))].worker
+}
+
+// Seq returns every worker index in ring order starting at key's owner: the
+// owner first, then the distinct successors — the failover and work-stealing
+// candidate order, stable for a fixed worker set.
+func (r *Ring) Seq(key string) []int {
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	i := r.search(ringHash(key))
+	for len(out) < r.n {
+		w := r.points[i].worker
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+		i++
+		if i == len(r.points) {
+			i = 0
+		}
+	}
+	return out
+}
+
+// search finds the first ring point at or clockwise-after h.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

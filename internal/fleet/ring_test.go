@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i) // digest-shaped keys
+	}
+	return keys
+}
+
+func TestRingDeterministic(t *testing.T) {
+	names := []string{"w0", "w1", "w2", "w3", "w4"}
+	a := NewRing(names, 0)
+	b := NewRing(names, 0)
+	for _, k := range ringKeys(1000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %s differs between identical rings: %d vs %d", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingSeq(t *testing.T) {
+	r := NewRing([]string{"w0", "w1", "w2"}, 0)
+	for _, k := range ringKeys(100) {
+		seq := r.Seq(k)
+		if len(seq) != 3 {
+			t.Fatalf("Seq(%s) = %v, want all 3 workers", k, seq)
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("Seq(%s)[0] = %d, owner = %d", k, seq[0], r.Owner(k))
+		}
+		seen := map[int]bool{}
+		for _, w := range seq {
+			if seen[w] {
+				t.Fatalf("Seq(%s) repeats worker %d: %v", k, w, seq)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	names := []string{"w0", "w1", "w2", "w3", "w4"}
+	r := NewRing(names, 0)
+	counts := make([]int, len(names))
+	keys := ringKeys(10000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(len(keys))
+		if frac < 0.10 || frac > 0.32 {
+			t.Errorf("worker %s owns %.1f%% of the keyspace, want roughly 20%% (counts %v)",
+				names[i], frac*100, counts)
+		}
+	}
+}
+
+// TestRingRemap measures the consistent-hashing contract the fleet depends
+// on: growing or shrinking the fleet by one worker remaps only about 1/N of
+// the keyspace, and a removed worker's keys are the ONLY ones that move.
+func TestRingRemap(t *testing.T) {
+	keys := ringKeys(10000)
+	five := NewRing([]string{"w0", "w1", "w2", "w3", "w4"}, 0)
+
+	t.Run("add one", func(t *testing.T) {
+		six := NewRing([]string{"w0", "w1", "w2", "w3", "w4", "w5"}, 0)
+		moved := 0
+		for _, k := range keys {
+			oldOwner, newOwner := five.Owner(k), six.Owner(k)
+			if newOwner != oldOwner {
+				moved++
+				if newOwner != 5 {
+					t.Fatalf("key %s moved w%d -> w%d: only moves TO the new worker are allowed", k, oldOwner, newOwner)
+				}
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		// Ideal is 1/6 ≈ 16.7%; allow vnode-placement noise either way.
+		if frac < 0.08 || frac > 0.30 {
+			t.Errorf("adding 6th worker remapped %.1f%% of keys, want ~16.7%%", frac*100)
+		}
+	})
+
+	t.Run("remove one", func(t *testing.T) {
+		four := NewRing([]string{"w0", "w1", "w2", "w4"}, 0) // w3 gone
+		moved := 0
+		for _, k := range keys {
+			oldOwner := five.Owner(k)
+			newName := []string{"w0", "w1", "w2", "w4"}[four.Owner(k)]
+			oldName := []string{"w0", "w1", "w2", "w3", "w4"}[oldOwner]
+			if oldName != "w3" && newName != oldName {
+				t.Fatalf("key %s owned by surviving %s moved to %s: removal must only move the dead worker's keys", k, oldName, newName)
+			}
+			if oldName == "w3" {
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		if frac < 0.08 || frac > 0.35 {
+			t.Errorf("w3 owned %.1f%% of keys, want ~20%%", frac*100)
+		}
+	})
+}
+
+func TestParseWorkers(t *testing.T) {
+	ws, err := ParseWorkers("w0=http://a:1, w1=http://b:2 ,http://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Worker{
+		{Name: "w0", URL: "http://a:1"},
+		{Name: "w1", URL: "http://b:2"},
+		{Name: "http://c:3", URL: "http://c:3"}, // bare URL: name = URL
+	}
+	if len(ws) != len(want) {
+		t.Fatalf("got %v", ws)
+	}
+	for i := range want {
+		if ws[i] != want[i] {
+			t.Errorf("worker %d = %+v, want %+v", i, ws[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "w0=not-a-url", "w0=ftp://x:1", "w0="} {
+		if _, err := ParseWorkers(bad); err == nil {
+			t.Errorf("ParseWorkers(%q) accepted", bad)
+		}
+	}
+}

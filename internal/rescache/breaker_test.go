@@ -1,0 +1,98 @@
+package rescache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerHalfOpenSingleProbe pins the half-open admission contract under
+// contention: when the cooldown expires, exactly ONE of many goroutines
+// racing allow() is admitted as the probe; everyone else keeps being rejected
+// until that probe resolves. Two probes would defeat the point of half-open —
+// a sick disk would take paired hits — and zero would wedge the breaker open
+// forever. Run with -race: the admission decision is a single guarded
+// transition, and this test is the proof.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := newBreaker(1, time.Hour)
+	var clockMu sync.Mutex
+	clock := time.Unix(1_000_000, 0)
+	b.now = func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		clock = clock.Add(d)
+		clockMu.Unlock()
+	}
+
+	// race has goroutines pile up on a barrier and storm allow() together,
+	// returning how many were admitted.
+	race := func(goroutines int) int {
+		var admitted atomic.Int64
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if b.allow() {
+					admitted.Add(1)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		return int(admitted.Load())
+	}
+
+	b.failure() // threshold 1: first fault trips the breaker
+	if st, trips := b.snapshot(); st != BreakerOpen || trips != 1 {
+		t.Fatalf("after trip: state=%v trips=%d", st, trips)
+	}
+	if n := race(32); n != 0 {
+		t.Fatalf("%d operations admitted before the cooldown elapsed", n)
+	}
+
+	// Cooldown expires while 64 goroutines are storming the gate: exactly one
+	// becomes the probe.
+	advance(2 * time.Hour)
+	if n := race(64); n != 1 {
+		t.Fatalf("%d probes admitted at half-open, want exactly 1", n)
+	}
+	if st, _ := b.snapshot(); st != BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", st)
+	}
+	// The probe is still unresolved: nobody else gets in, no matter how often
+	// they ask.
+	if n := race(32); n != 0 {
+		t.Fatalf("%d extra operations admitted while the probe was in flight", n)
+	}
+
+	// Probe fails -> open again, cooldown restarts from now.
+	b.failure()
+	if st, trips := b.snapshot(); st != BreakerOpen || trips != 2 {
+		t.Fatalf("after failed probe: state=%v trips=%d", st, trips)
+	}
+	if n := race(32); n != 0 {
+		t.Fatalf("%d operations admitted right after a failed probe", n)
+	}
+
+	// Next cooldown: again exactly one probe — and this one succeeds,
+	// closing the breaker for everyone.
+	advance(2 * time.Hour)
+	if n := race(64); n != 1 {
+		t.Fatalf("%d probes admitted at second half-open, want exactly 1", n)
+	}
+	b.success()
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if n := race(32); n != 32 {
+		t.Fatalf("closed breaker admitted %d/32", n)
+	}
+}

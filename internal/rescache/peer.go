@@ -1,0 +1,85 @@
+package rescache
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"dssmem/internal/telemetry"
+)
+
+// The peer tier: in a fleet, a worker that misses memory and disk asks its
+// peers for the entry before computing it — the service-layer analogue of a
+// cc-NUMA remote-cache fill (local cache, local memory, remote node,
+// recompute). Peer bytes travel in the same checksummed frame as disk
+// entries, so the fetching store verifies them before serving; an
+// unverifiable reply falls through to compute exactly like a corrupt disk
+// entry. The tier has its own circuit breaker: consecutive transport
+// failures bypass the peer tier entirely (degraded to local-only fill) with
+// half-open probes, mirroring the disk tier's machinery.
+
+// PeerFetch retrieves the framed entry for (ns, d) from a peer, or
+// ErrPeerMiss when no reachable peer holds it. Implementations must treat a
+// peer's 404 as a miss, not a failure — a cold peer is a healthy answer.
+type PeerFetch func(ctx context.Context, ns string, d Digest) ([]byte, error)
+
+// ErrPeerMiss is the PeerFetch result meaning "no peer has this entry";
+// it is a healthy outcome and never feeds the peer breaker.
+var ErrPeerMiss = errors.New("rescache: no peer has entry")
+
+// SetPeerFetch arms the peer tier. Call before serving traffic; a nil fn
+// disables the tier (the default).
+func (s *Store) SetPeerFetch(fn PeerFetch) {
+	s.peer = fn
+	if s.peerBrk == nil {
+		s.peerBrk = newBreaker(0, 0)
+	}
+}
+
+// SetPeerBreaker reconfigures the peer tier's circuit breaker: trip after
+// threshold consecutive fetch failures, probe again after cooldown. Zero
+// values keep the defaults.
+func (s *Store) SetPeerBreaker(threshold int, cooldown time.Duration) {
+	s.peerBrk = newBreaker(threshold, cooldown)
+}
+
+// peerGet tries the peer tier for (ns, d): breaker-gated fetch, then frame
+// verification. It returns (payload, true) only for bytes that verified.
+// Outcome taxonomy mirrors diskGet: a miss is healthy, a transport error
+// feeds the breaker, an unverifiable frame is counted as corrupt but is not
+// a breaker event (the transport worked; the data was bad).
+func (s *Store) peerGet(ctx context.Context, ns string, d Digest) ([]byte, bool) {
+	if s.peer == nil || !validNS.MatchString(ns) {
+		return nil, false
+	}
+	if !s.peerBrk.allow() {
+		s.peerSkipped.Add(1)
+		return nil, false
+	}
+	end := telemetry.FromContext(ctx).StartPhase(telemetry.PhaseCachePeer)
+	framed, err := s.peer(ctx, ns, d)
+	end()
+	if err != nil {
+		if errors.Is(err, ErrPeerMiss) {
+			s.peerBrk.success()
+			s.peerMisses.Add(1)
+			return nil, false
+		}
+		if ctx.Err() != nil {
+			// Our own cancellation, not the peer's health: no breaker event.
+			return nil, false
+		}
+		s.peerErrors.Add(1)
+		s.peerBrk.failure()
+		return nil, false
+	}
+	payload, err := unframe(framed)
+	if err != nil {
+		s.peerBrk.success()
+		s.peerCorrupt.Add(1)
+		return nil, false
+	}
+	s.peerBrk.success()
+	s.peerHits.Add(1)
+	return payload, true
+}

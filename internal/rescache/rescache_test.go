@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dssmem/internal/machine"
+	"dssmem/internal/telemetry"
 	"dssmem/internal/tpch"
 	"dssmem/internal/workload"
 )
@@ -219,6 +220,96 @@ func TestDoLastWaiterCancels(t *testing.T) {
 	})
 	if err != nil || hit || string(v) != "fresh" {
 		t.Fatalf("retry after abort: v=%q hit=%v err=%v", v, hit, err)
+	}
+}
+
+// TestDoJoinerSurvivesInitiatorCancel covers the inverse of last-waiter-
+// cancels: the caller that STARTED the flight walks away mid-compute while a
+// joiner is still waiting. The compute must keep running, the joiner must
+// receive the finished value, and — because the flight's context carries the
+// initiating request's telemetry — the compute's phase time must still land
+// on the initiator, the request that caused the run. The joiner shares the
+// result without being charged for it.
+func TestDoJoinerSurvivesInitiatorCancel(t *testing.T) {
+	s := NewMemory()
+	initReq := telemetry.NewRequest("req-init", "/v1/measure")
+	joinReq := telemetry.NewRequest("req-join", "/v1/measure")
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	compute := func(runCtx context.Context) ([]byte, error) {
+		close(started)
+		<-release
+		// The initiator has cancelled by now, but the flight must still be
+		// alive (a joiner waits) and must still track the initiating request.
+		if err := runCtx.Err(); err != nil {
+			t.Errorf("flight cancelled while the joiner still waits: %v", err)
+		}
+		q := telemetry.FromContext(runCtx)
+		if q == nil || q.ID != "req-init" {
+			t.Errorf("flight tracks %+v, want the initiating request", q)
+		} else {
+			q.AddPhase(telemetry.PhaseCompute, 10*time.Millisecond)
+		}
+		return []byte("survived"), nil
+	}
+
+	initCtx, cancelInit := context.WithCancel(telemetry.NewContext(context.Background(), initReq))
+	initErrs := make(chan error, 1)
+	go func() {
+		_, _, err := s.Do(initCtx, NSMeasurement, "joined", compute)
+		initErrs <- err
+	}()
+	<-started
+
+	joinVals := make(chan []byte, 1)
+	go func() {
+		v, hit, err := s.Do(telemetry.NewContext(context.Background(), joinReq), NSMeasurement, "joined", compute)
+		if err != nil || hit {
+			t.Errorf("joiner: hit=%v err=%v", hit, err)
+		}
+		joinVals <- v
+	}()
+	for s.Stats().Shared < 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelInit()
+	if err := <-initErrs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("initiator err = %v, want context.Canceled", err)
+	}
+	close(release) // compute finishes only after the initiator is gone
+
+	if v := <-joinVals; string(v) != "survived" {
+		t.Fatalf("joiner got %q, want the completed compute's value", v)
+	}
+
+	// Attribution: compute time on the initiator, none on the joiner.
+	var initCompute time.Duration
+	for _, p := range initReq.Phases() {
+		if p.Name == telemetry.PhaseCompute {
+			initCompute = time.Duration(p.Seconds * float64(time.Second))
+		}
+	}
+	if initCompute < 5*time.Millisecond {
+		t.Fatalf("initiator charged %v of compute, want the flight's time", initCompute)
+	}
+	for _, p := range joinReq.Phases() {
+		if p.Name == telemetry.PhaseCompute {
+			t.Fatalf("joiner charged %.3fs of compute it merely waited on", p.Seconds)
+		}
+	}
+
+	// The flight was never orphaned, and its result is cached for everyone.
+	if st := s.Stats(); st.Aborted != 0 || st.Misses != 1 || st.Shared != 1 {
+		t.Fatalf("stats after joiner survival: %+v", st)
+	}
+	v, hit, err := s.Do(context.Background(), NSMeasurement, "joined", func(context.Context) ([]byte, error) {
+		t.Error("compute ran on a digest the survived flight already cached")
+		return nil, nil
+	})
+	if err != nil || !hit || string(v) != "survived" {
+		t.Fatalf("post-flight Do: v=%q hit=%v err=%v", v, hit, err)
 	}
 }
 

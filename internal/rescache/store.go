@@ -44,6 +44,12 @@ type Stats struct {
 	Misses       uint64 // required a compute
 	Shared       uint64 // joined an in-flight identical compute (singleflight)
 	Puts         uint64 // results stored
+	PeerHits     uint64 // misses filled from a peer (verified)
+	PeerMisses   uint64 // peer tier consulted, no peer had the entry
+	PeerErrors   uint64 // peer fetches that failed in transport (feed the peer breaker)
+	PeerCorrupt  uint64 // peer replies that failed frame verification
+	PeerSkipped  uint64 // peer fetches bypassed while the peer breaker was open
+	PeerBreaker  string // peer breaker position ("" when the tier is unarmed)
 	Aborted      uint64 // computes cancelled because every waiter left
 	Panics       uint64 // computes that panicked (isolated, reported as errors)
 	DiskErrors   uint64 // disk reads/writes that failed with a real I/O error
@@ -68,6 +74,11 @@ type Store struct {
 	fsys FS
 	brk  *breaker
 
+	// peer is the optional peer-fill tier (SetPeerFetch): consulted on a
+	// full local miss, inside the singleflight flight, before computing.
+	peer    PeerFetch
+	peerBrk *breaker
+
 	mu      sync.Mutex
 	mem     map[string][]byte
 	flights map[string]*flight
@@ -86,6 +97,12 @@ type Store struct {
 	quarantined atomic.Uint64
 	diskSkipped atomic.Uint64
 	orphans     atomic.Uint64
+
+	peerHits    atomic.Uint64
+	peerMisses  atomic.Uint64
+	peerErrors  atomic.Uint64
+	peerCorrupt atomic.Uint64
+	peerSkipped atomic.Uint64
 }
 
 // flight is one in-progress compute. Waiters hold a reference; when the last
@@ -177,6 +194,11 @@ func (s *Store) QuarantineDir() string {
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
 	bst, trips := s.brk.snapshot()
+	peerBrk := ""
+	if s.peer != nil {
+		pst, _ := s.peerBrk.snapshot()
+		peerBrk = pst.String()
+	}
 	return Stats{
 		MemHits:      s.memHits.Load(),
 		DiskHits:     s.diskHits.Load(),
@@ -191,6 +213,12 @@ func (s *Store) Stats() Stats {
 		DiskSkipped:  s.diskSkipped.Load(),
 		BreakerTrips: trips,
 		OrphansSwept: s.orphans.Load(),
+		PeerHits:     s.peerHits.Load(),
+		PeerMisses:   s.peerMisses.Load(),
+		PeerErrors:   s.peerErrors.Load(),
+		PeerCorrupt:  s.peerCorrupt.Load(),
+		PeerSkipped:  s.peerSkipped.Load(),
+		PeerBreaker:  peerBrk,
 		Breaker:      bst.String(),
 		Degraded:     s.dir != "" && bst != BreakerClosed,
 	}
@@ -413,8 +441,10 @@ func (s *Store) Do(ctx context.Context, ns string, d Digest, compute func(contex
 	}
 }
 
-// runFlight executes one compute with panic isolation and publishes the
-// outcome.
+// runFlight resolves one flight — peer fill first when the tier is armed,
+// compute otherwise — with panic isolation, and publishes the outcome. The
+// peer fetch lives inside the flight so singleflight covers it too: N
+// concurrent misses on one digest cost at most one peer round trip.
 func (s *Store) runFlight(k, ns string, d Digest, f *flight, runCtx context.Context, compute func(context.Context) ([]byte, error)) {
 	var v []byte
 	var err error
@@ -425,6 +455,10 @@ func (s *Store) runFlight(k, ns string, d Digest, f *flight, runCtx context.Cont
 				err = fmt.Errorf("rescache: compute %s/%s: %w: %v", ns, d.Short(), ErrPanicked, r)
 			}
 		}()
+		if pv, ok := s.peerGet(runCtx, ns, d); ok {
+			v = pv
+			return
+		}
 		v, err = compute(runCtx)
 	}()
 	if err == nil {

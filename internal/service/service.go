@@ -43,6 +43,10 @@ import (
 type Config struct {
 	// Preset selects the database/machine scale (experiments.PresetByName).
 	Preset experiments.Preset
+	// Data overrides the dataset generated from Preset. Generation is
+	// deterministic, so a fleet test (or a process hosting several servers)
+	// can share one generation across them all. nil = generate.
+	Data *tpch.Data
 	// CacheDir persists results across restarts ("" = memory only).
 	CacheDir string
 	// Store overrides the result store built from CacheDir (the chaos
@@ -68,6 +72,11 @@ type Config struct {
 	// computations (0 = GOMAXPROCS). Total concurrency is still capped by
 	// Workers, which gates at the simulation level.
 	EnvParallelism int
+	// PeerFetch, when non-nil, arms the result store's peer-fill tier: a
+	// full local cache miss consults fleet peers (memory → disk → peer →
+	// compute) before simulating. Wired by cmd/dssmemd in -role=worker from
+	// the -peers flag; the fetched bytes are checksum-verified before use.
+	PeerFetch rescache.PeerFetch
 	// Faults, when non-nil, arms the service-level fault sites (compute
 	// panic/hang, scheduler stalls) for chaos testing. Disk sites are wired
 	// separately, via Store over a fault.FS.
@@ -156,15 +165,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.HardDeadline == 0 && cfg.RunTimeout > 0 {
 		cfg.HardDeadline = 2 * cfg.RunTimeout
 	}
+	data := cfg.Data
+	if data == nil {
+		data = tpch.Generate(cfg.Preset.SF, cfg.Preset.Seed)
+	}
 	base, stop := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:      cfg,
-		data:     tpch.Generate(cfg.Preset.SF, cfg.Preset.Seed),
+		data:     data,
 		store:    store,
 		sem:      make(chan struct{}, cfg.Workers),
 		start:    time.Now(),
 		base:     base,
 		baseStop: stop,
+	}
+	if cfg.PeerFetch != nil {
+		store.SetPeerFetch(cfg.PeerFetch)
 	}
 	s.tracker = telemetry.NewTracker(cfg.RecentRequests)
 	s.initMetrics()
@@ -175,6 +191,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("GET /v1/measure", s.instrument("/v1/measure", s.handleMeasure))
 	s.mux.Handle("GET /v1/figure/{id}", s.instrument("/v1/figure", s.handleFigure))
 	s.mux.Handle("GET /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.Handle("GET /v1/cache/{ns}/{digest}", s.instrument("/v1/cache", s.handleCacheEntry))
 	return s, nil
 }
 
@@ -531,13 +548,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad figure id %q", r.PathValue("id")))
 		return
 	}
-	dig, err := rescache.DigestJSON(struct {
-		Schema int                `json:"schema"`
-		Kind   string             `json:"kind"`
-		Preset experiments.Preset `json:"preset"`
-		Figure int                `json:"figure"`
-		Procs  []int              `json:"procs"`
-	}{1, "figure", s.cfg.Preset, id, experiments.ProcCounts})
+	dig, err := FigureDigest(s.cfg.Preset, id)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
@@ -574,14 +585,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	dig, err := rescache.DigestJSON(struct {
-		Schema  int                `json:"schema"`
-		Kind    string             `json:"kind"`
-		Preset  experiments.Preset `json:"preset"`
-		Machine machine.Spec       `json:"machine"`
-		Query   string             `json:"query"`
-		Procs   []int              `json:"procs"`
-	}{1, "sweep", s.cfg.Preset, spec, q.String(), experiments.ProcCounts})
+	dig, err := SweepDigest(s.cfg.Preset, spec, q)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
@@ -598,6 +602,95 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.respondRaw(w, r, hit, dig, raw)
+}
+
+// handleCacheEntry is the peer-fetch endpoint: it serves one cached entry's
+// bytes in the checksummed frame (the disk format on the wire), or 404 when
+// this worker does not hold the entry. It reads the local tiers only — a
+// peer fetch must never trigger a compute, or a fleet-wide miss would fan
+// out into N simulations of the same digest.
+func (s *Server) handleCacheEntry(w http.ResponseWriter, r *http.Request) {
+	ns := r.PathValue("ns")
+	switch ns {
+	case rescache.NSMeasurement, rescache.NSFigure, rescache.NSSweep:
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown cache namespace %q", ns))
+		return
+	}
+	dig := rescache.Digest(r.PathValue("digest"))
+	if !validDigest(string(dig)) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("malformed digest %q", dig))
+		return
+	}
+	b, ok := s.store.Get(ns, dig)
+	if !ok {
+		// A miss is a healthy answer, not a failure: plain 404, no error
+		// counter — the peer tier treats it as "fall through to compute".
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(struct {
+			Error     string `json:"error"`
+			Retriable bool   `json:"retriable"`
+			Status    int    `json:"status"`
+		}{"cache entry not held", false, http.StatusNotFound})
+		return
+	}
+	q := telemetry.FromContext(r.Context())
+	q.SetDigest(string(dig))
+	q.SetCache("hit")
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(rescache.FrameEntry(b))
+}
+
+// validDigest accepts exactly the hex form rescache digests take; anything
+// else is rejected before it can reach a disk path.
+func validDigest(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// --- content digests ---
+
+// FigureDigest is the content address of one figure result under preset p.
+// Exported so the fleet coordinator computes the identical address its
+// workers will answer under.
+func FigureDigest(p experiments.Preset, id int) (rescache.Digest, error) {
+	return rescache.DigestJSON(struct {
+		Schema int                `json:"schema"`
+		Kind   string             `json:"kind"`
+		Preset experiments.Preset `json:"preset"`
+		Figure int                `json:"figure"`
+		Procs  []int              `json:"procs"`
+	}{1, "figure", p, id, experiments.ProcCounts})
+}
+
+// SweepDigest is the content address of one sweep result under preset p
+// (see FigureDigest).
+func SweepDigest(p experiments.Preset, spec machine.Spec, q tpch.QueryID) (rescache.Digest, error) {
+	return rescache.DigestJSON(struct {
+		Schema  int                `json:"schema"`
+		Kind    string             `json:"kind"`
+		Preset  experiments.Preset `json:"preset"`
+		Machine machine.Spec       `json:"machine"`
+		Query   string             `json:"query"`
+		Procs   []int              `json:"procs"`
+	}{1, "sweep", p, spec, q.String(), experiments.ProcCounts})
+}
+
+// MeasureDigest is the content address of one measurement under preset p:
+// the canonical digest of the fully-defaulted workload options, identical to
+// what the measure and sweep paths compute server-side.
+func MeasureDigest(p experiments.Preset, q tpch.QueryID, procs int, opts workload.Options) rescache.Digest {
+	env := &experiments.Env{Preset: p}
+	return rescache.DigestOptions(p.SF, p.Seed, env.CanonicalOptions(q, procs, opts))
 }
 
 // --- response helpers ---
@@ -702,6 +795,19 @@ func (s *Server) fail(w http.ResponseWriter, status int, err error) {
 }
 
 // --- parameter parsing ---
+
+// ParseMachine resolves the machine/cpus API parameters into a spec at the
+// given memory scale. Exported for the fleet coordinator, which must parse
+// requests exactly as its workers do — the spec feeds the content digest, so
+// any divergence would shard requests under the wrong address.
+func ParseMachine(name, cpus string, memScale int) (machine.Spec, error) {
+	return parseMachine(name, cpus, memScale)
+}
+
+// ParseQuery resolves the query API parameter (same contract as ParseMachine).
+func ParseQuery(name string) (tpch.QueryID, error) {
+	return parseQuery(name)
+}
 
 func parseMachine(name, cpus string, memScale int) (machine.Spec, error) {
 	n := 0

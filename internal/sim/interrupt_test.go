@@ -53,6 +53,43 @@ func TestInterruptFromAnotherGoroutine(t *testing.T) {
 	}
 }
 
+// TestKillUnwindReentry pins the teardown contract killAll depends on: a
+// killed process whose deferred cleanup re-enters the simulation (the db
+// layer's lock releases simulate their own memory accesses, so during an
+// ErrKilled unwind they call Advance past the quantum edge) must not talk to
+// the scheduler. Before the p.killed guard in yield(), that re-entry emitted
+// an extra event that killAll mistook for the end of the unwind, releasing
+// the next process into a concurrent unwind over shared state — run with
+// -race, where the unsynchronized counter below catches exactly that.
+func TestKillUnwindReentry(t *testing.T) {
+	const quantum = 100
+	k := NewKernel(quantum)
+	shared := 0 // written by every unwind; safe only if unwinds serialize
+	for i := 0; i < 4; i++ {
+		k.Spawn(func(p *Proc) {
+			defer func() {
+				for j := 0; j < 16; j++ {
+					shared++
+					p.Advance(quantum * 2) // crosses the quantum edge mid-unwind
+				}
+			}()
+			for {
+				p.Advance(10)
+			}
+		})
+	}
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		k.Interrupt(nil)
+	}()
+	if err := k.Run(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if shared != 4*16 {
+		t.Fatalf("cleanup ran %d/%d steps: deferred teardown was cut short", shared, 4*16)
+	}
+}
+
 // TestInterruptWithinOneQuantum pins the cancellation contract the serving
 // layer relies on: after Interrupt, no process advances more than one
 // scheduling quantum past the point where the request landed.

@@ -119,6 +119,16 @@ func (p *Proc) Yield() {
 }
 
 func (p *Proc) yield() {
+	if p.killed {
+		// Dying: the kernel closed our resume channel and killAll counts
+		// exactly one event (runBody's) for this process. A deferred cleanup
+		// that re-enters the simulation during the ErrKilled unwind — a lock
+		// release simulating its own memory accesses — must not talk to the
+		// scheduler: an extra event here would make killAll think the unwind
+		// finished and release the next process into a concurrent unwind over
+		// shared machine state. Let the cleanup run free of the quantum.
+		return
+	}
 	if p.OnYield != nil {
 		p.OnYield(p.clock)
 	}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fleet metrics rollup: a coordinator scrapes each worker's /metrics and
+// re-exposes every family with a `worker` label identifying the source, so
+// the fleet's exposition aggregates by plain PromQL `sum by` — the registry's
+// fixed histogram buckets exist precisely so those series merge by addition.
+
+// Exposition is one scraped Prometheus text exposition attributed to a
+// source (a worker name).
+type Exposition struct {
+	Source string // becomes the injected label's value
+	Text   string
+}
+
+// rollupFamily accumulates one family across sources, preserving the
+// first-seen HELP/TYPE and sample order.
+type rollupFamily struct {
+	name    string
+	help    string
+	kind    string
+	samples []rollupSample
+}
+
+type rollupSample struct {
+	name   string // full sample name including _bucket/_sum/_count suffixes
+	labels [][2]string
+	value  float64
+}
+
+// MergeExpositions parses each source's exposition, injects
+// label="<Source>" as the first label of every sample, groups samples by
+// family (HELP/TYPE emitted once, before the family's samples, as the text
+// format requires), and writes one merged exposition. Families are ordered
+// by first appearance across sources; a family missing HELP or TYPE in its
+// first source takes them from the first source that declares them. A
+// malformed line fails the merge — a fleet exposition that silently dropped
+// a worker's series would read as "that worker is idle".
+func MergeExpositions(w io.Writer, label string, sources []Exposition) error {
+	if !validLabel.MatchString(label) {
+		return fmt.Errorf("telemetry: invalid rollup label %q", label)
+	}
+	fams := make(map[string]*rollupFamily)
+	var order []string
+	fam := func(name string) *rollupFamily {
+		f := fams[name]
+		if f == nil {
+			f = &rollupFamily{name: name}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+
+	for _, src := range sources {
+		// Sample names carry histogram suffixes; family attribution follows
+		// the declared TYPE lines seen so far in this source.
+		kinds := make(map[string]string)
+		sc := bufio.NewScanner(strings.NewReader(src.Text))
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		ln := 0
+		for sc.Scan() {
+			ln++
+			line := sc.Text()
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				fields := strings.SplitN(line, " ", 4)
+				if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+					continue
+				}
+				name := fields[2]
+				if !validName.MatchString(name) {
+					return fmt.Errorf("telemetry: rollup %s line %d: invalid metric name %q", src.Source, ln, name)
+				}
+				f := fam(name)
+				rest := ""
+				if len(fields) == 4 {
+					rest = fields[3]
+				}
+				switch fields[1] {
+				case "HELP":
+					if f.help == "" {
+						f.help = rest
+					}
+				case "TYPE":
+					if f.kind == "" {
+						f.kind = rest
+					}
+					kinds[name] = rest
+				}
+				continue
+			}
+			name, labels, value, err := parseSample(line)
+			if err != nil {
+				return fmt.Errorf("telemetry: rollup %s line %d: %w", src.Source, ln, err)
+			}
+			base := familyOf(name, kinds)
+			for _, kv := range labels {
+				if kv[0] == label {
+					return fmt.Errorf("telemetry: rollup %s line %d: sample %s already carries label %q", src.Source, ln, name, label)
+				}
+			}
+			withSource := append([][2]string{{label, src.Source}}, labels...)
+			fam(base).samples = append(fam(base).samples, rollupSample{name: name, labels: withSource, value: value})
+		}
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("telemetry: rollup %s: %w", src.Source, err)
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	for _, name := range order {
+		f := fams[name]
+		if len(f.samples) == 0 {
+			continue // declared but never sampled in any source
+		}
+		help := f.help
+		if help == "" {
+			help = "(no help from source)"
+		}
+		kind := f.kind
+		if kind == "" {
+			kind = "untyped"
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, kind)
+		for _, s := range f.samples {
+			names := make([]string, len(s.labels))
+			values := make([]string, len(s.labels))
+			for i, kv := range s.labels {
+				names[i], values[i] = kv[0], kv[1]
+			}
+			writeSample(bw, s.name, names, values, "", "", s.value)
+		}
+	}
+	return bw.Flush()
+}
+
+// familyOf strips a histogram/summary sample suffix when the base family was
+// declared with a matching TYPE, mirroring Lint's attribution rule.
+func familyOf(name string, kinds map[string]string) string {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, s); base != name {
+			if k := kinds[base]; k == "histogram" || k == "summary" {
+				return base
+			}
+			break
+		}
+	}
+	return name
+}

@@ -28,14 +28,29 @@
 // with net/http/pprof plus the same /metrics and /debug/requests — keep it
 // private; the main listener never exposes pprof.
 //
-// Fleet mode (DESIGN.md §13): N daemons plus one coordinator serve the same
-// /v1 API as a single logical service. Workers gain a peer-fill cache tier
-// with -peers; the coordinator shards requests by content digest:
+// Fleet mode (DESIGN.md §13–14): N daemons plus one coordinator serve the
+// same /v1 API as a single logical service. Workers gain a peer-fill cache
+// tier with -peers; the coordinator shards requests by content digest:
 //
 //	dssmemd -preset tiny -addr :8078 -peers 'w1=http://localhost:8079'
 //	dssmemd -preset tiny -addr :8079 -peers 'w0=http://localhost:8078'
 //	dssmemd -role coordinator -preset tiny -addr :8077 \
 //	        -fleet-workers 'w0=http://localhost:8078,w1=http://localhost:8079'
+//
+// Membership is dynamic (DESIGN.md §14): -fleet-workers is only the boot
+// roster (it may be empty), and workers join and heartbeat themselves with
+// -join/-name/-advertise. The coordinator ejects a worker after -eject-after
+// missed heartbeats (its keyspace fails over), re-admits it through a
+// half-open probe, replays hinted results to it, and — with -repair-interval
+// — runs a background anti-entropy pass over the fleet's caches. With
+// -job-dir, sweeps are durable jobs: a coordinator (or worker) killed
+// mid-sweep resumes unfinished sweeps on restart, serving already-completed
+// points from cache; poll them at /v1/jobs/{id}:
+//
+//	dssmemd -role coordinator -preset tiny -addr :8077 -job-dir jobs \
+//	        -heartbeat 2s -eject-after 3 -repair-interval 30s
+//	dssmemd -preset tiny -addr :8078 -join http://localhost:8077 \
+//	        -name w0 -advertise http://localhost:8078
 //
 // Endpoints (see internal/service):
 //
@@ -53,10 +68,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -90,10 +108,17 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "private debug listener with pprof, /metrics and /debug/requests ('' = off)")
 	recentReqs := flag.Int("recent-requests", 0, "completed requests retained by /debug/requests (0 = default)")
 	role := flag.String("role", "worker", "process role: worker (serves simulations) or coordinator (shards over -fleet-workers)")
-	fleetWorkers := flag.String("fleet-workers", "", "coordinator: worker roster as 'name=url,name=url,...'")
+	fleetWorkers := flag.String("fleet-workers", "", "coordinator: static boot roster as 'name=url,...' ('' = dynamic only, workers -join)")
 	peers := flag.String("peers", "", "worker: fleet peers as 'name=url,...' consulted on a cache miss before recomputing")
 	peerTries := flag.Int("peer-tries", 0, "worker: peers asked per cache miss (0 = 2)")
 	stealAfter := flag.Duration("steal-after", 15*time.Second, "coordinator: straggler deadline before re-issuing a call to the next worker (<0 = off)")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "membership cadence: coordinator probe interval, worker push interval with -join (<0 = coordinator ticker off)")
+	ejectAfter := flag.Int("eject-after", 3, "coordinator: consecutive missed observations before a worker is ejected from the ring")
+	repairEvery := flag.Duration("repair-interval", 0, "coordinator: anti-entropy repair cadence (0 = off)")
+	jobDir := flag.String("job-dir", "", "durable sweep-job journal directory; unfinished sweeps resume after a restart ('' = memory only)")
+	joinURL := flag.String("join", "", "worker: coordinator base URL to join and heartbeat (e.g. http://localhost:8077)")
+	name := flag.String("name", "", "worker: stable fleet name sent with -join ('' = hostname)")
+	advertise := flag.String("advertise", "", "worker: base URL peers reach this worker at, sent with -join ('' = derive from -addr)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -120,30 +145,51 @@ func main() {
 	var dbgRequests http.Handler
 	switch *role {
 	case "coordinator":
-		if *fleetWorkers == "" {
-			fatal("-role coordinator", errors.New("needs -fleet-workers"))
+		var roster []fleet.Worker
+		if *fleetWorkers != "" {
+			roster, err = fleet.ParseWorkers(*fleetWorkers)
+			if err != nil {
+				fatal("-fleet-workers", err)
+			}
 		}
-		roster, err := fleet.ParseWorkers(*fleetWorkers)
-		if err != nil {
-			fatal("-fleet-workers", err)
+		var fleetHTTP *http.Client
+		if *faultSpec != "" {
+			// Coordinator-side chaos: the injector sits in the transport of
+			// every coordinator→worker call (and scrape), so net.dial.err and
+			// net.resp.truncated exercise the failover/steal paths.
+			probs, err := fault.ParseSpec(*faultSpec)
+			if err != nil {
+				fatal("-faults", err)
+			}
+			inj := fault.New(*faultSeed)
+			inj.Configure(probs)
+			fleetHTTP = &http.Client{Transport: &fault.Transport{Inj: inj}}
+			logger.Warn("FAULT INJECTION ARMED", "seed", *faultSeed, "spec", inj.String())
 		}
 		coord, err := fleet.New(fleet.Config{
 			Preset:         p,
 			Workers:        roster,
+			HTTP:           fleetHTTP,
 			StealAfter:     *stealAfter,
+			Heartbeat:      *heartbeat,
+			EjectAfter:     *ejectAfter,
+			RepairInterval: *repairEvery,
+			JobDir:         *jobDir,
 			Log:            logger,
 			RecentRequests: *recentReqs,
 		})
 		if err != nil {
 			fatal("starting coordinator", err)
 		}
-		handler, closeSrv, reg, dbgRequests = coord.Handler(), func() {}, coord.Registry(), coord.DebugRequests()
-		logger.Info("coordinating fleet", "workers", len(roster), "steal_after", stealAfter.String())
+		handler, closeSrv, reg, dbgRequests = coord.Handler(), coord.Close, coord.Registry(), coord.DebugRequests()
+		logger.Info("coordinating fleet", "workers", len(roster), "steal_after", stealAfter.String(),
+			"heartbeat", heartbeat.String(), "eject_after", *ejectAfter, "jobs", cacheLabel(*jobDir))
 
 	case "worker":
 		cfg := service.Config{
 			Preset:         p,
 			CacheDir:       *cacheDir,
+			JobDir:         *jobDir,
 			Workers:        *workers,
 			RunTimeout:     *runTimeout,
 			EnvParallelism: *envPar,
@@ -152,24 +198,13 @@ func main() {
 			Log:            logger,
 			RecentRequests: *recentReqs,
 		}
-		if *peers != "" {
-			roster, err := fleet.ParseWorkers(*peers)
-			if err != nil {
-				fatal("-peers", err)
-			}
-			pf, err := fleet.NewPeerFetch(roster, nil, *peerTries)
-			if err != nil {
-				fatal("-peers", err)
-			}
-			cfg.PeerFetch = pf
-			logger.Info("peer cache fill armed", "peers", len(roster))
-		}
+		var inj *fault.Injector
 		if *faultSpec != "" {
 			probs, err := fault.ParseSpec(*faultSpec)
 			if err != nil {
 				fatal("-faults", err)
 			}
-			inj := fault.New(*faultSeed)
+			inj = fault.New(*faultSeed)
 			inj.Configure(probs)
 			cfg.Faults = inj
 			if *cacheDir != "" {
@@ -183,6 +218,24 @@ func main() {
 			}
 			logger.Warn("FAULT INJECTION ARMED", "seed", *faultSeed, "spec", inj.String())
 		}
+		if *peers != "" {
+			roster, err := fleet.ParseWorkers(*peers)
+			if err != nil {
+				fatal("-peers", err)
+			}
+			var peerHTTP *http.Client
+			if inj != nil {
+				// Peer fetches ride the same injector, so net.* sites exercise
+				// the peer tier's breaker and frame verification.
+				peerHTTP = &http.Client{Transport: &fault.Transport{Inj: inj}}
+			}
+			pf, err := fleet.NewPeerFetch(roster, peerHTTP, *peerTries)
+			if err != nil {
+				fatal("-peers", err)
+			}
+			cfg.PeerFetch = pf
+			logger.Info("peer cache fill armed", "peers", len(roster))
+		}
 
 		logger.Info("generating dataset", "preset", p.Name, "sf", p.SF)
 		srv, err := service.New(cfg)
@@ -190,6 +243,16 @@ func main() {
 			fatal("starting service", err)
 		}
 		handler, closeSrv, reg, dbgRequests = srv.Handler(), func() { srv.Close() }, srv.Registry(), srv.DebugRequests()
+
+		if *joinURL != "" {
+			wkName, wkURL := workerIdentity(*name, *advertise, *addr)
+			every := *heartbeat
+			if every <= 0 {
+				every = 5 * time.Second
+			}
+			go heartbeatLoop(strings.TrimRight(*joinURL, "/"), wkName, wkURL, every, logger)
+			logger.Info("joining fleet", "coordinator", *joinURL, "name", wkName, "advertise", wkURL, "heartbeat", every.String())
+		}
 
 	default:
 		fatal("-role", fmt.Errorf("unknown role %q (worker|coordinator)", *role))
@@ -266,6 +329,59 @@ func serveDebug(addr string, reg *telemetry.Registry, dbgRequests http.Handler, 
 	logger.Info("debug listener up", "addr", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		logger.Error("debug listener failed", "err", err)
+	}
+}
+
+// workerIdentity resolves the fleet name and advertised URL a joining worker
+// announces: explicit flags win; the name falls back to the hostname and the
+// URL derives from -addr (loopback when -addr only names a port — right for
+// single-host fleets; multi-host fleets set -advertise).
+func workerIdentity(name, advertise, addr string) (string, string) {
+	if name == "" {
+		if hn, err := os.Hostname(); err == nil && hn != "" {
+			name = hn
+		} else {
+			name = "worker"
+		}
+	}
+	if advertise == "" {
+		if strings.HasPrefix(addr, ":") {
+			advertise = "http://127.0.0.1" + addr
+		} else {
+			advertise = "http://" + addr
+		}
+	}
+	return name, strings.TrimRight(advertise, "/")
+}
+
+// heartbeatLoop announces this worker to the coordinator immediately and
+// then every interval: the same POST is both the initial join and the
+// ongoing heartbeat (the endpoint is idempotent). Failures only log — the
+// coordinator's pull probes and health scrapes are the backstop, and a
+// worker keeps serving regardless of its membership state.
+func heartbeatLoop(joinURL, name, selfURL string, every time.Duration, logger *slog.Logger) {
+	body, _ := json.Marshal(struct {
+		Name string `json:"name"`
+		URL  string `json:"url"`
+	}{name, selfURL})
+	httpc := &http.Client{Timeout: 5 * time.Second}
+	beat := func() {
+		resp, err := httpc.Post(joinURL+"/v1/fleet/join", "application/json", bytes.NewReader(body))
+		if err != nil {
+			logger.Warn("heartbeat failed", "coordinator", joinURL, "err", err)
+			return
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			logger.Warn("heartbeat rejected", "coordinator", joinURL, "status", resp.StatusCode)
+		}
+	}
+	beat()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for range t.C {
+		beat()
 	}
 }
 

@@ -1,0 +1,87 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// JobStatus is a daemon-side durable job snapshot (GET /v1/jobs/{id}): the
+// journaled progress of a sweep, surviving daemon restarts.
+type JobStatus struct {
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	Path      string `json:"path"`
+	State     string `json:"state"` // running | done | failed
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Error     string `json:"error,omitempty"`
+}
+
+// Job fetches one job's status by ID (the X-Job-ID header of the request
+// that started it).
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	return c.getJob(ctx, "/v1/jobs/"+id)
+}
+
+// SweepJob finds the sweep job for a set of sweep query parameters
+// (rawQuery as in "machine=origin&query=Q6") — the reattach path when the
+// response carrying X-Job-ID was lost to a server crash.
+func (c *Client) SweepJob(ctx context.Context, rawQuery string) (*JobStatus, error) {
+	return c.getJob(ctx, "/v1/jobs/sweep?"+strings.TrimPrefix(rawQuery, "?"))
+}
+
+func (c *Client) getJob(ctx context.Context, path string) (*JobStatus, error) {
+	resp, err := c.Get(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	var js JobStatus
+	if err := json.Unmarshal(resp.Body, &js); err != nil {
+		return nil, fmt.Errorf("client: undecodable job status: %w", err)
+	}
+	return &js, nil
+}
+
+// ResumeSweep fetches a sweep, riding out a server crash mid-sweep: when the
+// GET fails, it polls the sweep's durable job until the restarted server
+// finishes resuming it, then re-issues the GET (which the server answers
+// from its result cache). rawQuery is the sweep's query string. Bounded by
+// ctx; poll is the job-poll cadence (0 = 500ms).
+func (c *Client) ResumeSweep(ctx context.Context, rawQuery string, poll time.Duration) (*Response, error) {
+	rawQuery = strings.TrimPrefix(rawQuery, "?")
+	resp, err := c.Get(ctx, "/v1/sweep?"+rawQuery)
+	if err == nil {
+		return resp, nil
+	}
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		js, jerr := c.SweepJob(ctx, rawQuery)
+		switch {
+		case jerr == nil && js.State == "done":
+			// The server finished the job (live or resumed); the result is in
+			// its cache now.
+			return c.Get(ctx, "/v1/sweep?"+rawQuery)
+		case jerr == nil && js.State == "failed":
+			return nil, fmt.Errorf("client: sweep job %s failed: %s", js.ID, js.Error)
+		case jerr != nil:
+			var ae *APIError
+			if errors.As(jerr, &ae) && ae.Status == http.StatusNotFound {
+				// No journal for this sweep: nothing to wait out.
+				return nil, err
+			}
+			// Server still down/restarting: keep polling until ctx gives up.
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("client: %w (last sweep error: %v)", context.Cause(ctx), err)
+		case <-time.After(poll):
+		}
+	}
+}

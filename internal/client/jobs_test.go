@@ -1,0 +1,146 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestJobStatusFetch(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/v1/jobs/abc123":
+			json.NewEncoder(w).Encode(JobStatus{ID: "abc123", Kind: "sweep", State: "running", Total: 5, Completed: 2})
+		case r.URL.Path == "/v1/jobs/sweep" && r.URL.Query().Get("machine") == "vclass":
+			json.NewEncoder(w).Encode(JobStatus{ID: "abc123", Kind: "sweep", State: "done", Total: 5, Completed: 5})
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":"unknown job","retriable":false,"status":404}`)
+		}
+	}))
+	defer ts.Close()
+	cl := fastClient(t, ts.URL)
+
+	js, err := cl.Job(context.Background(), "abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.State != "running" || js.Completed != 2 {
+		t.Fatalf("Job = %+v", js)
+	}
+	js, err = cl.SweepJob(context.Background(), "machine=vclass&query=Q6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.State != "done" || js.Completed != 5 {
+		t.Fatalf("SweepJob = %+v", js)
+	}
+	if _, err := cl.Job(context.Background(), "nope"); err == nil {
+		t.Fatal("unknown job fetched without error")
+	}
+}
+
+// TestResumeSweepRidesOutRestart scripts a coordinator crash: the first sweep
+// GET dies, the durable job reports running then done, and ResumeSweep's
+// re-issued GET lands on the post-restart cache.
+func TestResumeSweepRidesOutRestart(t *testing.T) {
+	var sweepCalls, jobPolls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasPrefix(r.URL.Path, "/v1/sweep"):
+			if sweepCalls.Add(1) == 1 {
+				// The crash: one hard, non-retriable failure so the client
+				// falls through to the job-poll path immediately.
+				w.WriteHeader(http.StatusInternalServerError)
+				fmt.Fprint(w, `{"error":"killed","retriable":false,"status":500}`)
+				return
+			}
+			w.Header().Set("X-Cache", "hit")
+			fmt.Fprint(w, `{"machine":"vclass","points":[]}`)
+		case r.URL.Path == "/v1/jobs/sweep":
+			state := "running"
+			if jobPolls.Add(1) >= 3 {
+				state = "done"
+			}
+			json.NewEncoder(w).Encode(JobStatus{ID: "j1", Kind: "sweep", State: state, Total: 5, Completed: 5})
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	resp, err := fastClient(t, ts.URL).ResumeSweep(context.Background(), "machine=vclass&query=Q6", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != `{"machine":"vclass","points":[]}` {
+		t.Fatalf("body %q", resp.Body)
+	}
+	if got := sweepCalls.Load(); got != 2 {
+		t.Fatalf("sweep fetched %d times, want 2 (initial failure + post-resume)", got)
+	}
+	if got := jobPolls.Load(); got < 3 {
+		t.Fatalf("job polled %d times, want >= 3 (running, running, done)", got)
+	}
+}
+
+func TestResumeSweepFailedJob(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/sweep") {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"error":"boom","retriable":false,"status":500}`)
+			return
+		}
+		json.NewEncoder(w).Encode(JobStatus{ID: "j1", Kind: "sweep", State: "failed", Error: "simulation diverged"})
+	}))
+	defer ts.Close()
+	_, err := fastClient(t, ts.URL).ResumeSweep(context.Background(), "machine=vclass&query=Q6", time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "simulation diverged") {
+		t.Fatalf("err = %v, want the job's failure surfaced", err)
+	}
+}
+
+// TestResumeSweepNoJournal: when the server has no job for the sweep (e.g. it
+// never started, or journaling is off), the original sweep error comes back —
+// ResumeSweep must not spin on a journal that will never appear.
+func TestResumeSweepNoJournal(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/sweep") {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprint(w, `{"error":"unknown machine","retriable":false,"status":400}`)
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"no such job","retriable":false,"status":404}`)
+	}))
+	defer ts.Close()
+	_, err := fastClient(t, ts.URL).ResumeSweep(context.Background(), "machine=zork&query=Q6", time.Millisecond)
+	var ae *APIError
+	if err == nil || !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want the original 400 back", err)
+	}
+}
+
+// TestResumeSweepCtxBound: with the server entirely gone, ResumeSweep gives
+// up when the context does, reporting both causes.
+func TestResumeSweepCtxBound(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"down","retriable":false,"status":503}`)
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := fastClient(t, ts.URL).ResumeSweep(ctx, "machine=vclass&query=Q6", time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), context.DeadlineExceeded.Error()) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}

@@ -96,6 +96,13 @@ type Env struct {
 	// ParallelWindow is the default bound window in cycles (0 = quantum).
 	ParallelWindow uint64
 
+	// OnPoint, when non-nil, is called after each sweep point completes,
+	// with the point's index, process count, content digest, and whether it
+	// was a cache hit. The daemon uses it to journal sweep progress so a
+	// killed process resumes without recomputing completed points. Called
+	// concurrently from sweep goroutines.
+	OnPoint func(idx, procs int, dig rescache.Digest, hit bool)
+
 	initMu sync.Mutex // guards lazy Results init
 }
 
@@ -222,7 +229,11 @@ func (e *Env) Sweep(tag string, spec machine.Spec, q tpch.QueryID, opts workload
 			defer func() { <-sem }()
 			o := opts
 			o.Spec = spec
-			s.Points[i], errs[i] = e.MeasureOpts(tag, q, n, o)
+			var hit bool
+			s.Points[i], hit, errs[i] = e.MeasureCached(tag, q, n, o)
+			if errs[i] == nil && e.OnPoint != nil {
+				e.OnPoint(i, n, rescache.DigestOptions(e.Preset.SF, e.Preset.Seed, e.CanonicalOptions(q, n, o)), hit)
+			}
 		}()
 	}
 	wg.Wait()

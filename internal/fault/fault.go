@@ -29,13 +29,15 @@ type Site string
 // result store; compute sites by the service's gated runner; SimStall by the
 // simulation kernel's quantum-boundary hook.
 const (
-	DiskReadErr     Site = "disk.read.err"     // ReadFile fails with a non-NotExist error
-	DiskReadCorrupt Site = "disk.read.corrupt" // ReadFile succeeds but a byte is flipped
-	DiskWriteErr    Site = "disk.write.err"    // WriteFile/Rename fails
-	DiskWriteTorn   Site = "disk.write.torn"   // WriteFile persists a truncated prefix yet reports success
-	SimStall        Site = "sim.stall"         // a scheduling quantum stalls for StallFor
-	ComputePanic    Site = "compute.panic"     // the run goroutine panics
-	ComputeHang     Site = "compute.hang"      // the run wedges, ignoring cancellation
+	DiskReadErr      Site = "disk.read.err"      // ReadFile fails with a non-NotExist error
+	DiskReadCorrupt  Site = "disk.read.corrupt"  // ReadFile succeeds but a byte is flipped
+	DiskWriteErr     Site = "disk.write.err"     // WriteFile/Rename fails
+	DiskWriteTorn    Site = "disk.write.torn"    // WriteFile persists a truncated prefix yet reports success
+	SimStall         Site = "sim.stall"          // a scheduling quantum stalls for StallFor
+	ComputePanic     Site = "compute.panic"      // the run goroutine panics
+	ComputeHang      Site = "compute.hang"       // the run wedges, ignoring cancellation
+	NetDialErr       Site = "net.dial.err"       // an outbound HTTP request fails before any bytes move
+	NetRespTruncated Site = "net.resp.truncated" // a response body is cut mid-stream
 )
 
 // Sites lists every known site in stable order.
@@ -43,6 +45,7 @@ func Sites() []Site {
 	return []Site{
 		DiskReadErr, DiskReadCorrupt, DiskWriteErr, DiskWriteTorn,
 		SimStall, ComputePanic, ComputeHang,
+		NetDialErr, NetRespTruncated,
 	}
 }
 

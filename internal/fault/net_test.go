@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestTransportDialErr(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Fatal("request reached the server despite an injected dial error")
+	}))
+	defer srv.Close()
+
+	in := New(5)
+	in.Set(NetDialErr, 1)
+	c := &http.Client{Transport: Transport{Inj: in}}
+	_, err := c.Get(srv.URL) //nolint:bodyclose // no response on error
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n := in.Fired()[NetDialErr]; n != 1 {
+		t.Fatalf("fired count = %d, want 1", n)
+	}
+}
+
+func TestTransportRespTruncated(t *testing.T) {
+	body := make([]byte, 4096)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(body)
+	}))
+	defer srv.Close()
+
+	in := New(5)
+	in.Set(NetRespTruncated, 1)
+	c := &http.Client{Transport: Transport{Inj: in}}
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("truncation must hit the body, not the round trip: %v", err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read %d bytes with no error; want a mid-stream failure", len(got))
+	}
+	if len(got) >= len(body) {
+		t.Fatalf("full body delivered (%d bytes) despite truncation", len(got))
+	}
+}
+
+func TestTransportPassThrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "intact")
+	}))
+	defer srv.Close()
+
+	// A nil injector and an inert one both pass bodies through untouched.
+	for _, in := range []*Injector{nil, New(1)} {
+		c := &http.Client{Transport: Transport{Inj: in}}
+		resp, err := c.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(b) != "intact" {
+			t.Fatalf("passthrough read %q, %v", b, err)
+		}
+	}
+}

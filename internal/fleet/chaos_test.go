@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"strconv"
@@ -33,6 +34,11 @@ import (
 	"dssmem/internal/rescache"
 	"dssmem/internal/service"
 )
+
+type measureBody struct {
+	Digest      string          `json:"digest"`
+	Measurement json.RawMessage `json:"measurement"`
+}
 
 func fleetChaosIters(t *testing.T) int {
 	if v := os.Getenv("CHAOS_ITERS"); v != "" {
@@ -115,6 +121,7 @@ func TestFleetChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer coord.Close()
 	cts := httptest.NewServer(coord.Handler())
 	defer cts.Close()
 
@@ -133,10 +140,6 @@ func TestFleetChaos(t *testing.T) {
 	sweepPaths := []string{
 		"/v1/sweep?machine=vclass&query=Q6",
 		"/v1/sweep?machine=origin&query=Q6",
-	}
-	type measureBody struct {
-		Digest      string          `json:"digest"`
-		Measurement json.RawMessage `json:"measurement"`
 	}
 	baselineMeasure := make(map[string]measureBody)
 	for _, p := range measurePaths {
@@ -330,4 +333,132 @@ func TestFleetChaos(t *testing.T) {
 		}
 	}
 	t.Logf("fleet chaos: %d ok, %d gave up after retries", okCount.Load(), errCount.Load())
+}
+
+// TestFleetChurn is the membership-churn companion to TestFleetChaos: instead
+// of probabilistic faults, it exercises the full dynamic-membership cycle
+// under live timers. A worker is killed mid-sweep; the heartbeat ticker
+// ejects it after EjectAfter missed probes while the sweep completes via
+// failover; a result homed on the dead worker is computed elsewhere and
+// queued as a hint; the worker comes back, the half-open probe re-admits it,
+// the hint replays into its cache, and /healthz converges to "ok" — with
+// every 200 along the way byte-identical to a fault-free single-node run.
+func TestFleetChurn(t *testing.T) {
+	workers, coord, cts := newFleet(t, 3, func(c *Config) {
+		c.Heartbeat = 25 * time.Millisecond
+		c.EjectAfter = 2
+		c.ScrapeTimeout = 500 * time.Millisecond
+		c.StealAfter = 150 * time.Millisecond
+		c.MaxAttempts = 3
+	})
+
+	ref := httptest.NewServer(newWorkerServer(t, service.Config{}).Handler())
+	defer ref.Close()
+	const sweepPath = "/v1/sweep?machine=vclass&query=Q6"
+	_, refSweep := get(t, ref, sweepPath)
+
+	waitFor(t, 5*time.Second, "all members active", func() bool {
+		for _, w := range workers {
+			if coord.MemberState(w.name) != MemberActive {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Launch the sweep, then shoot w0 while its fan-out is in flight. The
+	// request must still return 200 with the single-node bytes: in-flight
+	// points fail over inside raceFetch, later points route around the corpse
+	// once the ticker ejects it.
+	type result struct {
+		body []byte
+		err  error
+	}
+	sweepDone := make(chan result, 1)
+	go func() {
+		r, err := cts.Client().Get(cts.URL + sweepPath)
+		if err != nil {
+			sweepDone <- result{err: err}
+			return
+		}
+		body := readAll(t, r)
+		if r.StatusCode != 200 {
+			sweepDone <- result{err: fmt.Errorf("HTTP %d: %s", r.StatusCode, body)}
+			return
+		}
+		sweepDone <- result{body: body}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	workers[0].kill()
+
+	res := <-sweepDone
+	if res.err != nil {
+		t.Fatalf("sweep with worker killed mid-flight: %v", res.err)
+	}
+	if !bytes.Equal(res.body, refSweep) {
+		t.Fatalf("kill-mid-sweep 200 differs from fault-free single node:\n got %s\nwant %s", res.body, refSweep)
+	}
+
+	// The ticker notices: EjectAfter missed probes move w0 off the routing
+	// ring without any help from the test.
+	waitFor(t, 10*time.Second, "ticker ejects w0", func() bool {
+		return coord.MemberState("w0") == MemberEjected
+	})
+
+	// A key homed on the corpse is served byte-identically by the survivors
+	// and queued as a hint for the owner's return.
+	dig, path := digestHomedOn(t, coord, "w0")
+	_, refBody := get(t, ref, path)
+	var refMeasure measureBody
+	if err := json.Unmarshal(refBody, &refMeasure); err != nil {
+		t.Fatal(err)
+	}
+	sameMeasure := func(body []byte) bool {
+		var mb measureBody
+		if err := json.Unmarshal(body, &mb); err != nil {
+			return false
+		}
+		return mb.Digest == refMeasure.Digest && string(mb.Measurement) == string(refMeasure.Measurement)
+	}
+	resp, body := get(t, cts, path)
+	if resp.StatusCode != 200 {
+		t.Fatalf("measure with owner ejected: %d %s", resp.StatusCode, body)
+	}
+	if !sameMeasure(body) {
+		t.Fatalf("failover measure differs from single node:\n got %s\nwant %s", body, refBody)
+	}
+	if n := coord.hints.pending("w0"); n < 1 {
+		t.Fatalf("hints pending for ejected owner = %d, want >= 1", n)
+	}
+
+	// The worker returns on the same address. No join call: the ticker's
+	// half-open probe must find it, re-admit it, and trigger hint replay.
+	workers[0].restart(t, service.Config{})
+	waitFor(t, 10*time.Second, "ticker re-admits w0", func() bool {
+		return coord.MemberState("w0") == MemberActive
+	})
+	waitFor(t, 10*time.Second, "hint replayed into w0's cache", func() bool {
+		r, err := http.Get(workers[0].ts.URL + "/v1/cache/" + rescache.NSMeasurement + "/" + string(dig))
+		if err != nil {
+			return false
+		}
+		r.Body.Close()
+		return r.StatusCode == 200
+	})
+	waitFor(t, 10*time.Second, "healthz ok", func() bool {
+		return healthzStatus(t, cts) == "ok"
+	})
+
+	// Post-churn, the whole fleet still speaks single-node bytes.
+	resp, body = get(t, cts, sweepPath)
+	if resp.StatusCode != 200 || !bytes.Equal(body, refSweep) {
+		t.Fatalf("post-churn sweep: %d, identical=%v", resp.StatusCode, bytes.Equal(body, refSweep))
+	}
+	resp, body = get(t, cts, path)
+	if resp.StatusCode != 200 || !sameMeasure(body) {
+		t.Fatalf("post-churn measure: %d %s, want 200 matching %s", resp.StatusCode, body, refBody)
+	}
+	if v := coordMetric(t, coord, "dssmem_fleet_hints_replayed_total"); v < 1 {
+		t.Errorf("dssmem_fleet_hints_replayed_total = %v, want >= 1", v)
+	}
 }

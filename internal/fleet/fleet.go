@@ -7,6 +7,18 @@
 // and content-addressed, so a stolen-and-original duplicate yields one value
 // and byte-identical bodies), and aggregates the fleet's health and metrics.
 //
+// The fleet is self-healing. Membership is dynamic: workers join and
+// heartbeat via POST /v1/fleet/join, the coordinator observes every contact
+// (push heartbeats, pull probes, health scrapes), ejects a worker after
+// EjectAfter consecutive missed observations — rebuilding the routing ring
+// so its keyspace fails over — and re-admits it through a half-open probe
+// when it returns. Results computed elsewhere while an owner was down are
+// queued as hints and replayed to the owner on rejoin; a background
+// anti-entropy pass repairs what the hint queue missed. Sweeps are durable
+// jobs: an append-only journal (internal/job) records each completed point,
+// so a SIGKILLed coordinator resumes unfinished sweeps on restart, serving
+// completed points from the workers' caches and recomputing nothing.
+//
 // The layering mirrors the paper's cc-NUMA machines: a worker's memory tier
 // is the local cache, its disk tier is local memory, the peer-fill tier
 // (rescache.PeerFetch, served by /v1/cache/{ns}/{digest}) is a remote-node
@@ -26,10 +38,12 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"dssmem/internal/client"
 	"dssmem/internal/experiments"
+	"dssmem/internal/job"
 	"dssmem/internal/rescache"
 	"dssmem/internal/telemetry"
 )
@@ -50,7 +64,9 @@ type Config struct {
 	// fleet misconfiguration and fails the request rather than serving
 	// bytes of unknown identity).
 	Preset experiments.Preset
-	// Workers is the fleet roster. At least one required.
+	// Workers is the static boot roster, seeded as pending members. May be
+	// empty: a coordinator can start alone and grow as workers join via
+	// POST /v1/fleet/join.
 	Workers []Worker
 	// HTTP overrides the transport for worker calls (tests, benchmarks).
 	// nil uses a dedicated client with no global timeout — per-call
@@ -65,10 +81,25 @@ type Config struct {
 	// (0 = 3; transport errors also fail over to the next worker).
 	MaxAttempts int
 	// ScrapeTimeout bounds each worker scrape during /healthz and /metrics
-	// aggregation (0 = 3s).
+	// aggregation, and each membership probe (0 = 3s).
 	ScrapeTimeout time.Duration
 	// Replicas is the ring's virtual-node count per worker (0 = 128).
 	Replicas int
+	// Heartbeat is the membership cadence: workers are expected to push a
+	// heartbeat this often, and the coordinator's ticker probes members it
+	// has not heard from within it. 0 = 5s; negative disables the ticker
+	// (observations then come only from health scrapes and pushes).
+	Heartbeat time.Duration
+	// EjectAfter is how many consecutive missed observations eject an
+	// active member from the routing ring (0 = 3).
+	EjectAfter int
+	// RepairInterval is the anti-entropy cadence: every interval the
+	// coordinator compares digest listings across active workers and
+	// repairs entries missing at their home owner. 0 disables.
+	RepairInterval time.Duration
+	// JobDir persists sweep-job journals so a killed coordinator resumes
+	// unfinished sweeps on restart. "" keeps jobs in memory only.
+	JobDir string
 	// DisableCache turns off the coordinator-local result cache so every
 	// request fans out (routing-path benchmarks; production keeps it on).
 	DisableCache bool
@@ -78,15 +109,21 @@ type Config struct {
 	RecentRequests int
 }
 
-// Coordinator serves the /v1 API over a worker fleet. Create with New.
+// Coordinator serves the /v1 API over a worker fleet. Create with New; stop
+// background membership/repair/resume loops with Close.
 type Coordinator struct {
-	cfg     Config
-	ring    *Ring
-	clients []*client.Client // index-aligned with cfg.Workers
-	store   *rescache.Store  // memory-only: coordinator result cache + singleflight
-	scrape  *http.Client     // healthz/metrics fan-in
-	mux     *http.ServeMux
-	start   time.Time
+	cfg    Config
+	mem    *membership
+	hints  *hintQueue
+	jobs   *job.Manager
+	store  *rescache.Store // memory-only: coordinator result cache + singleflight
+	scrape *http.Client    // healthz/metrics fan-in, probes, hint replay
+	mux    *http.ServeMux
+	start  time.Time
+
+	baseCtx context.Context // cancelled by Close; bounds background work
+	stop    context.CancelFunc
+	bg      sync.WaitGroup
 
 	reg     *telemetry.Registry
 	tracker *telemetry.Tracker
@@ -101,23 +138,38 @@ type Coordinator struct {
 	mismatches   *telemetry.Counter
 	workerUp     *telemetry.GaugeVec
 	scrapeErrs   *telemetry.CounterVec
+
+	memberState *telemetry.GaugeVec   // by worker: numeric MemberState
+	transitions *telemetry.CounterVec // by worker, to
+	joins       *telemetry.Counter
+	heartbeats  *telemetry.Counter
+	hintsQueued *telemetry.Counter
+	hintsSent   *telemetry.Counter
+	hintsErrs   *telemetry.Counter
+	repairs     *telemetry.Counter
+	repairErrs  *telemetry.Counter
+	jobsResumed *telemetry.Counter
+	sweepPoints *telemetry.CounterVec // by cache (worker-reported hit/miss)
 }
 
 // PhaseFanout is the coordinator-side phase charging time spent waiting on
 // workers (it appears in dssmem_fleet_phase_seconds and /debug/requests).
 const PhaseFanout = "fanout"
 
-// New builds a coordinator. It performs no I/O: workers are contacted
-// lazily, per request, so a coordinator can start before its fleet.
+// errNoWorkers is returned on the request path while the routing ring is
+// empty (nothing joined yet, or everything is ejected). Retriable: the fleet
+// heals as members join or probe back in.
+var errNoWorkers = errors.New("fleet: no routable workers")
+
+// New builds a coordinator. It performs no blocking I/O: workers are
+// contacted lazily — per request, by the membership ticker, and by the job
+// resume loop — so a coordinator starts before its fleet and reports
+// degraded health until the fleet converges.
 func New(cfg Config) (*Coordinator, error) {
 	if cfg.Preset.Name == "" {
 		return nil, errors.New("fleet: config needs a preset")
 	}
-	if len(cfg.Workers) == 0 {
-		return nil, errors.New("fleet: config needs at least one worker")
-	}
 	seen := make(map[string]bool, len(cfg.Workers))
-	names := make([]string, len(cfg.Workers))
 	for i, w := range cfg.Workers {
 		if w.Name == "" || w.URL == "" {
 			return nil, fmt.Errorf("fleet: worker %d needs a name and a URL", i)
@@ -126,7 +178,6 @@ func New(cfg Config) (*Coordinator, error) {
 			return nil, fmt.Errorf("fleet: duplicate worker name %q", w.Name)
 		}
 		seen[w.Name] = true
-		names[i] = w.Name
 	}
 	if cfg.StealAfter == 0 {
 		cfg.StealAfter = 15 * time.Second
@@ -137,35 +188,47 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.ScrapeTimeout <= 0 {
 		cfg.ScrapeTimeout = 3 * time.Second
 	}
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = 5 * time.Second
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = 3
+	}
 	httpc := cfg.HTTP
 	if httpc == nil {
 		httpc = &http.Client{}
 	}
+	jobs, err := job.Open(cfg.JobDir)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
 	c := &Coordinator{
 		cfg:    cfg,
-		ring:   NewRing(names, cfg.Replicas),
+		hints:  newHintQueue(),
+		jobs:   jobs,
 		store:  rescache.NewMemory(),
 		scrape: httpc,
 		start:  time.Now(),
 	}
-	c.clients = make([]*client.Client, len(cfg.Workers))
-	for i, w := range cfg.Workers {
-		cl, err := client.New(client.Config{
+	c.baseCtx, c.stop = context.WithCancel(context.Background())
+	c.mem = newMembership(cfg.Replicas, func(w Worker, seq int) (*client.Client, error) {
+		return client.New(client.Config{
 			BaseURL:     w.URL,
 			HTTP:        httpc,
 			MaxAttempts: cfg.MaxAttempts,
 			BaseDelay:   50 * time.Millisecond,
 			MaxDelay:    2 * time.Second,
-			Seed:        int64(i + 1),
+			Seed:        int64(seq),
 			Log:         cfg.Log,
 		})
-		if err != nil {
-			return nil, fmt.Errorf("fleet: worker %s: %w", w.Name, err)
-		}
-		c.clients[i] = cl
-	}
+	})
 	c.tracker = telemetry.NewTracker(cfg.RecentRequests)
 	c.initMetrics()
+	c.mem.onChange = c.onMemberChange
+	if err := c.mem.seed(cfg.Workers); err != nil {
+		c.stop()
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
@@ -173,7 +236,29 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.Handle("GET /v1/measure", c.instrument("/v1/measure", c.handleMeasure))
 	c.mux.Handle("GET /v1/figure/{id}", c.instrument("/v1/figure", c.handleFigure))
 	c.mux.Handle("GET /v1/sweep", c.instrument("/v1/sweep", c.handleSweep))
+	c.mux.HandleFunc("POST /v1/fleet/join", c.handleJoin)
+	c.mux.HandleFunc("POST /v1/fleet/heartbeat", c.handleJoin) // alias: a heartbeat is an idempotent join
+	c.mux.HandleFunc("GET /v1/jobs", c.handleJobs)
+	c.mux.HandleFunc("GET /v1/jobs/sweep", c.handleJobLookup)
+	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
+
+	if cfg.Heartbeat > 0 {
+		c.bg.Add(1)
+		go c.membershipLoop()
+	}
+	if cfg.RepairInterval > 0 {
+		c.bg.Add(1)
+		go c.repairLoop()
+	}
+	c.resumeUnfinished()
 	return c, nil
+}
+
+// Close stops the membership ticker, repair pass, hint replays and job
+// resume loop, then waits for them.
+func (c *Coordinator) Close() {
+	c.stop()
+	c.bg.Wait()
 }
 
 // Handler returns the coordinator's HTTP handler.
@@ -183,8 +268,16 @@ func (c *Coordinator) Handler() http.Handler { return c.mux }
 // only; worker families are merged in at scrape time).
 func (c *Coordinator) Registry() *telemetry.Registry { return c.reg }
 
-// Ring exposes the shard map (tests, debugging).
-func (c *Coordinator) Ring() *Ring { return c.ring }
+// Ring exposes the current routing ring (tests, debugging). nil while no
+// member is routable.
+func (c *Coordinator) Ring() *Ring { return c.mem.snapshot().ring }
+
+// Jobs exposes the coordinator's job manager (tests, debugging).
+func (c *Coordinator) Jobs() *job.Manager { return c.jobs }
+
+// MemberState reports a member's current membership state (tests,
+// debugging); MemberEjected for unknown names.
+func (c *Coordinator) MemberState(name string) MemberState { return c.mem.state(name) }
 
 // DebugRequests exposes the live request inspector (mounted at
 // /debug/requests; the debug listener mounts it too).
@@ -210,10 +303,183 @@ func (c *Coordinator) initMetrics() {
 		"Last /healthz aggregation verdict per worker (1 up, 0 down).", "worker")
 	c.scrapeErrs = r.CounterVec("dssmem_fleet_scrape_errors_total",
 		"Worker scrape failures during /metrics or /healthz aggregation.", "worker")
-	r.PollGauge("dssmem_fleet_workers", "Configured fleet size.",
-		nil, func(emit func(float64, ...string)) { emit(float64(len(c.cfg.Workers))) })
+	c.memberState = r.GaugeVec("dssmem_fleet_member_state",
+		"Membership state per worker: 0 ejected, 1 pending, 2 probing, 3 active.", "worker")
+	c.transitions = r.CounterVec("dssmem_fleet_member_transitions_total",
+		"Membership state transitions by worker and destination state.", "worker", "to")
+	c.joins = r.Counter("dssmem_fleet_joins_total",
+		"Join registrations accepted (new members).")
+	c.heartbeats = r.Counter("dssmem_fleet_heartbeats_total",
+		"Push heartbeats received on /v1/fleet/join.")
+	c.hintsQueued = r.Counter("dssmem_fleet_hints_queued_total",
+		"Results queued for replay because their home owner was down.")
+	c.hintsSent = r.Counter("dssmem_fleet_hints_replayed_total",
+		"Hinted results successfully replayed to a rejoined owner.")
+	c.hintsErrs = r.Counter("dssmem_fleet_hint_errors_total",
+		"Hint replays that failed (the repair pass retries them).")
+	c.repairs = r.Counter("dssmem_fleet_repairs_total",
+		"Entries copied to their home owner by the anti-entropy pass.")
+	c.repairErrs = r.Counter("dssmem_fleet_repair_errors_total",
+		"Anti-entropy repair attempts that failed.")
+	c.jobsResumed = r.Counter("dssmem_fleet_jobs_resumed_total",
+		"Unfinished journaled jobs resumed after a restart.")
+	c.sweepPoints = r.CounterVec("dssmem_fleet_sweep_points_total",
+		"Sweep points fetched from workers, by the worker's cache verdict.", "cache")
+	r.PollGauge("dssmem_fleet_workers", "Known fleet members.",
+		nil, func(emit func(float64, ...string)) { emit(float64(len(c.mem.list()))) })
+	r.PollGauge("dssmem_fleet_workers_active", "Members currently on the routing ring.",
+		nil, func(emit func(float64, ...string)) {
+			n := 0
+			for _, mi := range c.mem.list() {
+				if mi.State == MemberActive || mi.State == MemberPending {
+					n++
+				}
+			}
+			emit(float64(n))
+		})
+	r.PollGauge("dssmem_fleet_hints_pending", "Hints queued awaiting an owner's rejoin.",
+		nil, func(emit func(float64, ...string)) {
+			total := 0
+			for _, mi := range c.mem.list() {
+				total += c.hints.pending(mi.Worker.Name)
+			}
+			emit(float64(total))
+		})
+	r.PollGauge("dssmem_fleet_jobs", "Journaled jobs by state.",
+		[]string{"state"}, func(emit func(float64, ...string)) {
+			counts := map[job.State]int{}
+			for _, j := range c.jobs.Jobs() {
+				counts[j.State()]++
+			}
+			for _, st := range []job.State{job.StateRunning, job.StateDone, job.StateFailed} {
+				emit(float64(counts[st]), string(st))
+			}
+		})
 	r.PollGauge("dssmem_fleet_uptime_seconds", "Seconds since the coordinator started.",
 		nil, func(emit func(float64, ...string)) { emit(time.Since(c.start).Seconds()) })
+}
+
+// onMemberChange is the membership layer's transition observer: it keeps the
+// state gauge current, counts real transitions, and kicks off hint replay
+// when a member earns its way back onto the ring.
+func (c *Coordinator) onMemberChange(name string, from, to MemberState) {
+	c.memberState.With(name).Set(int64(to))
+	if from == to {
+		return // initial registration: gauge only
+	}
+	c.transitions.With(name, to.String()).Inc()
+	if c.cfg.Log != nil {
+		c.cfg.Log.Info("fleet member transition", "worker", name, "from", from.String(), "to", to.String())
+	}
+	if to == MemberActive && (from == MemberEjected || from == MemberProbing) {
+		c.bg.Add(1)
+		go c.replayHints(name)
+	}
+}
+
+// membershipLoop is the coordinator's pull side: every Heartbeat it probes
+// members it has not heard from recently — keeping static fleets (no push
+// heartbeats) fully managed — and half-open-probes ejected members back in.
+func (c *Coordinator) membershipLoop() {
+	defer c.bg.Done()
+	t := time.NewTicker(c.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.baseCtx.Done():
+			return
+		case <-t.C:
+			c.tickMembership()
+		}
+	}
+}
+
+// tickMembership runs one round of pull observations, concurrently, and
+// waits for them (each bounded by ScrapeTimeout).
+func (c *Coordinator) tickMembership() {
+	var wg sync.WaitGroup
+	for _, mi := range c.mem.list() {
+		if mi.State == MemberActive && c.mem.fresh(mi.Worker.Name, c.cfg.Heartbeat) {
+			continue // a push heartbeat already covered this interval
+		}
+		wg.Add(1)
+		go func(mi memberInfo) {
+			defer wg.Done()
+			c.probeMember(mi.Worker.Name)
+		}(mi)
+	}
+	wg.Wait()
+}
+
+// probeMember contacts one member's /healthz and feeds the result into the
+// state machine. Any 200 counts as alive — a degraded worker is serving.
+func (c *Coordinator) probeMember(name string) MemberState {
+	mi, ok := c.memberByName(name)
+	if !ok {
+		return MemberEjected
+	}
+	ctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.ScrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, mi.Worker.URL+"/healthz", nil)
+	if err != nil {
+		return c.mem.observe(name, false, c.cfg.EjectAfter)
+	}
+	resp, err := c.scrape.Do(req)
+	alive := err == nil && resp.StatusCode == http.StatusOK
+	if err == nil {
+		resp.Body.Close()
+	}
+	return c.mem.observe(name, alive, c.cfg.EjectAfter)
+}
+
+func (c *Coordinator) memberByName(name string) (memberInfo, bool) {
+	for _, mi := range c.mem.list() {
+		if mi.Worker.Name == name {
+			return mi, true
+		}
+	}
+	return memberInfo{}, false
+}
+
+// replayHints drains the hint queue for a rejoined owner and PUTs each
+// framed entry into its cache. Failures are counted and dropped — the
+// anti-entropy pass is the backstop.
+func (c *Coordinator) replayHints(owner string) {
+	defer c.bg.Done()
+	mi, ok := c.memberByName(owner)
+	if !ok {
+		return
+	}
+	for _, ht := range c.hints.drain(owner) {
+		ctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.ScrapeTimeout)
+		err := putEntry(ctx, c.scrape, mi.Worker.URL, ht.ns, ht.dig, ht.payload)
+		cancel()
+		if err != nil {
+			c.hintsErrs.Inc()
+			if c.cfg.Log != nil {
+				c.cfg.Log.Warn("hint replay failed", "worker", owner, "digest", ht.dig.Short(), "err", err)
+			}
+			continue
+		}
+		c.hintsSent.Inc()
+	}
+}
+
+// maybeHint queues payload for the digest's home owner when it was served by
+// someone else while the owner was off the ring.
+func (c *Coordinator) maybeHint(ns string, dig rescache.Digest, payload []byte, servedBy string) {
+	owner, ok := c.mem.snapshot().homeOwner(string(dig))
+	if !ok || owner == servedBy {
+		return
+	}
+	if st := c.mem.state(owner); st == MemberActive || st == MemberPending {
+		return // owner is routable; it missed this one by steal/race, not death
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	if c.hints.add(owner, hint{ns: ns, dig: dig, payload: buf}) {
+		c.hintsQueued.Inc()
+	}
 }
 
 // instrument mirrors the worker-side request wrapper: ID minted or honored,
@@ -352,11 +618,16 @@ func (c *Coordinator) fail(w http.ResponseWriter, status int, retriable bool, re
 
 // failFetch maps a fan-out error onto an HTTP response: a worker's API error
 // propagates its status, retriability and Retry-After hint; anything else
-// (transport failure with every candidate exhausted) is a retriable 502.
+// (transport failure with every candidate exhausted, an empty ring) is a
+// retriable 502/503.
 func (c *Coordinator) failFetch(w http.ResponseWriter, err error) {
 	var ae *client.APIError
 	if errors.As(err, &ae) {
 		c.fail(w, ae.Status, ae.Retriable, ae.RetryAfter, err)
+		return
+	}
+	if errors.Is(err, errNoWorkers) {
+		c.fail(w, http.StatusServiceUnavailable, true, 2*time.Second, err)
 		return
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

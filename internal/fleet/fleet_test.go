@@ -137,6 +137,7 @@ func newFleet(t *testing.T, n int, cfgFn func(*Config)) ([]*proxyWorker, *Coordi
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(coord.Close)
 	ts := httptest.NewServer(coord.Handler())
 	t.Cleanup(ts.Close)
 	return workers, coord, ts
@@ -348,6 +349,7 @@ func TestFleetDigestMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer coord.Close()
 	cts := httptest.NewServer(coord.Handler())
 	defer cts.Close()
 

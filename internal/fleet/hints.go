@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"dssmem/internal/rescache"
+)
+
+// A hint is a result that landed on the wrong worker: computed (or served)
+// by a failover worker while the digest's home owner was down. It is queued
+// per owner and replayed — PUT back to the owner's cache — when the owner
+// rejoins, so the ring's locality heals instead of depending on recompute
+// or peer fetches forever.
+type hint struct {
+	ns      string
+	dig     rescache.Digest
+	payload []byte
+}
+
+// hintCap bounds the per-owner queue; beyond it the oldest hints drop (the
+// anti-entropy repair pass catches anything the queue sheds).
+const hintCap = 1024
+
+type hintQueue struct {
+	mu      sync.Mutex
+	byOwner map[string][]hint
+	dropped uint64
+}
+
+func newHintQueue() *hintQueue {
+	return &hintQueue{byOwner: make(map[string][]hint)}
+}
+
+// add queues a hint for owner, dropping the oldest beyond hintCap. Reports
+// whether it was queued without displacing another.
+func (h *hintQueue) add(owner string, ht hint) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	q := h.byOwner[owner]
+	for _, have := range q {
+		if have.ns == ht.ns && have.dig == ht.dig {
+			return false // already queued
+		}
+	}
+	if len(q) >= hintCap {
+		q = q[1:]
+		h.dropped++
+	}
+	h.byOwner[owner] = append(q, ht)
+	return true
+}
+
+// drain removes and returns every hint queued for owner.
+func (h *hintQueue) drain(owner string) []hint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	q := h.byOwner[owner]
+	delete(h.byOwner, owner)
+	return q
+}
+
+// pending reports how many hints are queued for owner.
+func (h *hintQueue) pending(owner string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.byOwner[owner])
+}
+
+func (h *hintQueue) droppedCount() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// putEntry writes one framed cache entry to a worker's cache-fill endpoint
+// (PUT /v1/cache/{ns}/{digest}) — the hint-replay and repair write path. The
+// body is the checksummed entry frame, verified by the receiver before it
+// stores anything.
+func putEntry(ctx context.Context, httpc *http.Client, baseURL, ns string, dig rescache.Digest, payload []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		baseURL+"/v1/cache/"+ns+"/"+string(dig), bytes.NewReader(rescache.FrameEntry(payload)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: cache fill %s/%s: HTTP %d", ns, dig.Short(), resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,291 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dssmem/internal/client"
+)
+
+// MemberState positions one worker in the membership state machine:
+//
+//	pending --first successful contact--> active
+//	active  --EjectAfter consecutive failed observations--> ejected
+//	ejected --push heartbeat/join--> probing --probe ok--> active
+//	ejected --pull probe ok--> active   (the pull IS the half-open probe)
+//	probing --probe failed--> ejected
+//
+// Pending members (the static boot roster, or a fresh join awaiting its
+// probe) are routable — the coordinator extends the benefit of the doubt at
+// boot exactly as the pre-membership fleet did, and failover absorbs a
+// pending member that is not up yet. Ejected and probing members are off the
+// routing ring: a worker that died earns its way back with a verified probe,
+// never with a bare heartbeat.
+type MemberState int
+
+const (
+	MemberEjected MemberState = iota // off the ring after repeated missed heartbeats
+	MemberPending                    // known, never successfully contacted; routable
+	MemberProbing                    // half-open: claims liveness, probe in flight
+	MemberActive                     // verified alive; routable
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case MemberEjected:
+		return "ejected"
+	case MemberPending:
+		return "pending"
+	case MemberProbing:
+		return "probing"
+	case MemberActive:
+		return "active"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// member is one worker's membership record. Fields are guarded by
+// membership.mu.
+type member struct {
+	worker   Worker
+	cl       *client.Client
+	state    MemberState
+	lastSeen time.Time // last successful contact; zero until first
+	missed   int       // consecutive failed observations
+	seq      int       // registration order (client seed, stable listings)
+}
+
+// ringView is the immutable routing snapshot raceFetch operates on: the
+// routing ring over routable members and the home ring over every known
+// member (the true owner for hinted handoff, so a briefly dead worker keeps
+// its keyspace identity).
+type ringView struct {
+	ring      *Ring // nil when no member is routable
+	names     []string
+	clients   []*client.Client
+	home      *Ring // nil only when the fleet is empty
+	homeNames []string
+}
+
+// membership tracks the fleet roster and its state machine. Reads on the
+// request path go through an atomic view snapshot; mutations rebuild it.
+type membership struct {
+	mu        sync.Mutex
+	members   map[string]*member
+	order     []string
+	replicas  int
+	newClient func(w Worker, seq int) (*client.Client, error)
+	// onChange observes every state transition (metrics, hint replay). Called
+	// without mu held.
+	onChange func(name string, from, to MemberState)
+
+	view atomic.Pointer[ringView]
+}
+
+func newMembership(replicas int, newClient func(Worker, int) (*client.Client, error)) *membership {
+	m := &membership{
+		members:   make(map[string]*member),
+		replicas:  replicas,
+		newClient: newClient,
+	}
+	m.rebuildLocked()
+	return m
+}
+
+// seed registers the static boot roster as pending members.
+func (m *membership) seed(workers []Worker) error {
+	for _, w := range workers {
+		if _, _, err := m.add(w, MemberPending); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// add registers a new member in the given initial state. Reports whether the
+// member was created (false: it already existed, untouched).
+func (m *membership) add(w Worker, state MemberState) (created bool, mb *member, err error) {
+	m.mu.Lock()
+	if mb := m.members[w.Name]; mb != nil {
+		m.mu.Unlock()
+		return false, mb, nil
+	}
+	cl, err := m.newClient(w, len(m.order)+1)
+	if err != nil {
+		m.mu.Unlock()
+		return false, nil, err
+	}
+	mb = &member{worker: w, cl: cl, state: state, seq: len(m.order) + 1}
+	m.members[w.Name] = mb
+	m.order = append(m.order, w.Name)
+	m.rebuildLocked()
+	m.mu.Unlock()
+	if m.onChange != nil {
+		m.onChange(w.Name, state, state) // surface the initial state
+	}
+	return true, mb, nil
+}
+
+// setURL updates a member's URL (a worker came back on a new port) and
+// rebuilds its client.
+func (m *membership) setURL(name, url string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb := m.members[name]
+	if mb == nil || mb.worker.URL == url {
+		return nil
+	}
+	cl, err := m.newClient(Worker{Name: name, URL: url}, mb.seq)
+	if err != nil {
+		return err
+	}
+	mb.worker.URL = url
+	mb.cl = cl
+	m.rebuildLocked()
+	return nil
+}
+
+// transition moves name to state, rebuilding the rings when routability
+// changes. Reports the previous state and whether anything changed.
+func (m *membership) transition(name string, to MemberState) (from MemberState, changed bool) {
+	m.mu.Lock()
+	mb := m.members[name]
+	if mb == nil || mb.state == to {
+		if mb != nil {
+			from = mb.state
+		}
+		m.mu.Unlock()
+		return from, false
+	}
+	from = mb.state
+	mb.state = to
+	if to == MemberActive {
+		mb.missed = 0
+	}
+	m.rebuildLocked()
+	m.mu.Unlock()
+	if m.onChange != nil {
+		m.onChange(name, from, to)
+	}
+	return from, true
+}
+
+// observe records the result of contacting a member (push heartbeat, pull
+// probe, or a healthz scrape — all observations are equal). A success
+// revives pending/probing/ejected members to active; ejectAfter consecutive
+// failures eject an active member, and any failure knocks a probing member
+// back to ejected. Returns the member's state after the observation.
+func (m *membership) observe(name string, ok bool, ejectAfter int) MemberState {
+	m.mu.Lock()
+	mb := m.members[name]
+	if mb == nil {
+		m.mu.Unlock()
+		return MemberEjected
+	}
+	if ok {
+		mb.lastSeen = time.Now()
+		mb.missed = 0
+		state := mb.state
+		m.mu.Unlock()
+		if state != MemberActive {
+			m.transition(name, MemberActive)
+			return MemberActive
+		}
+		return state
+	}
+	mb.missed++
+	state, missed := mb.state, mb.missed
+	m.mu.Unlock()
+	switch {
+	case state == MemberProbing:
+		m.transition(name, MemberEjected)
+		return MemberEjected
+	case state == MemberActive && missed >= ejectAfter:
+		m.transition(name, MemberEjected)
+		return MemberEjected
+	}
+	return state
+}
+
+// fresh reports whether the member was successfully contacted within d —
+// the ticker skips probing members with a recent push heartbeat.
+func (m *membership) fresh(name string, d time.Duration) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb := m.members[name]
+	return mb != nil && !mb.lastSeen.IsZero() && time.Since(mb.lastSeen) < d
+}
+
+// state returns one member's current state (MemberEjected for unknown).
+func (m *membership) state(name string) MemberState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mb := m.members[name]; mb != nil {
+		return mb.state
+	}
+	return MemberEjected
+}
+
+// info snapshots one member for health detail.
+type memberInfo struct {
+	Worker   Worker
+	State    MemberState
+	LastSeen time.Time
+	Missed   int
+	Client   *client.Client
+}
+
+// list snapshots every member in registration order.
+func (m *membership) list() []memberInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]memberInfo, 0, len(m.order))
+	for _, name := range m.order {
+		mb := m.members[name]
+		out = append(out, memberInfo{
+			Worker:   mb.worker,
+			State:    mb.state,
+			LastSeen: mb.lastSeen,
+			Missed:   mb.missed,
+			Client:   mb.cl,
+		})
+	}
+	return out
+}
+
+// snapshot returns the current routing view. Never nil; rings inside may be.
+func (m *membership) snapshot() *ringView { return m.view.Load() }
+
+// rebuildLocked recomputes the routing and home rings. Callers hold m.mu
+// (or are the constructor).
+func (m *membership) rebuildLocked() {
+	v := &ringView{}
+	for _, name := range m.order {
+		mb := m.members[name]
+		v.homeNames = append(v.homeNames, name)
+		if mb.state == MemberActive || mb.state == MemberPending {
+			v.names = append(v.names, name)
+			v.clients = append(v.clients, mb.cl)
+		}
+	}
+	if len(v.names) > 0 {
+		v.ring = NewRing(v.names, m.replicas)
+	}
+	if len(v.homeNames) > 0 {
+		v.home = NewRing(v.homeNames, m.replicas)
+	}
+	m.view.Store(v)
+}
+
+// homeOwner names the digest's true owner on the full-membership ring, and
+// whether that owner is currently active. Hinted handoff keys on this: a
+// result served by anyone else while the owner is not active is queued for
+// replay.
+func (v *ringView) homeOwner(key string) (string, bool) {
+	if v == nil || v.home == nil {
+		return "", false
+	}
+	return v.homeNames[v.home.Owner(key)], true
+}

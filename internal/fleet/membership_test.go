@@ -1,0 +1,415 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dssmem/internal/experiments"
+	"dssmem/internal/job"
+	"dssmem/internal/rescache"
+	"dssmem/internal/service"
+	"dssmem/internal/workload"
+)
+
+func healthzStatus(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	_, body := get(t, ts, "/healthz")
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz: %s: %v", body, err)
+	}
+	return h.Status
+}
+
+func postJoin(t *testing.T, ts *httptest.Server, name, url string) {
+	t.Helper()
+	body, _ := json.Marshal(struct {
+		Name string `json:"name"`
+		URL  string `json:"url"`
+	}{name, url})
+	resp, err := ts.Client().Post(ts.URL+"/v1/fleet/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join %s: HTTP %d", name, resp.StatusCode)
+	}
+}
+
+// digestHomedOn scans measure trials until it finds one whose digest the home
+// ring assigns to the named worker, returning the digest and request path.
+// Deterministic: digests and the home ring are both pure functions.
+func digestHomedOn(t *testing.T, coord *Coordinator, name string) (rescache.Digest, string) {
+	t.Helper()
+	spec, err := service.ParseMachine("vclass", "2", experiments.Tiny.MemScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := service.ParseQuery("Q6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial <= 100; trial++ {
+		d := service.MeasureDigest(experiments.Tiny, q, 1, workload.Options{Spec: spec, Trial: trial})
+		if owner, ok := coord.mem.snapshot().homeOwner(string(d)); ok && owner == name {
+			return d, fmt.Sprintf("/v1/measure?machine=vclass&cpus=2&query=Q6&procs=1&trial=%d", trial)
+		}
+	}
+	t.Fatalf("no trial homed on %s in 100 tries", name)
+	return "", ""
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFleetStartupConverges pins the startup ordering fix: a coordinator
+// booted before any worker exists starts degraded (not crashed, not "ok"),
+// refuses API traffic with a retriable 503, and converges to "ok" as workers
+// join dynamically — with zero static roster.
+func TestFleetStartupConverges(t *testing.T) {
+	coord, err := New(Config{
+		Preset:        experiments.Tiny,
+		StealAfter:    -1,
+		MaxAttempts:   1,
+		Heartbeat:     -1, // observations via joins and healthz only: deterministic
+		ScrapeTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	if got := healthzStatus(t, cts); got != "degraded" {
+		t.Fatalf("empty fleet healthz = %q, want degraded", got)
+	}
+	resp, body := get(t, cts, "/v1/measure?machine=vclass&cpus=2&query=Q6&procs=1")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("measure with no workers: %d %s, want 503", resp.StatusCode, body)
+	}
+	var eb struct {
+		Retriable bool `json:"retriable"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil || !eb.Retriable {
+		t.Fatalf("no-workers error must be retriable, got %s", body)
+	}
+
+	w0 := newProxyWorker(t, "w0", service.Config{})
+	w1 := newProxyWorker(t, "w1", service.Config{})
+	postJoin(t, cts, "w0", w0.ts.URL)
+	postJoin(t, cts, "w1", w1.ts.URL)
+
+	// Joins admit via a half-open probe, not on the worker's say-so: wait for
+	// the probes to verify both.
+	waitFor(t, 5*time.Second, "both members active", func() bool {
+		return coord.MemberState("w0") == MemberActive && coord.MemberState("w1") == MemberActive
+	})
+	if got := healthzStatus(t, cts); got != "ok" {
+		t.Fatalf("converged fleet healthz = %q, want ok", got)
+	}
+	resp, body = get(t, cts, "/v1/measure?machine=vclass&cpus=2&query=Q6&procs=1")
+	if resp.StatusCode != 200 {
+		t.Fatalf("measure after join: %d %s", resp.StatusCode, body)
+	}
+	if v := coordMetric(t, coord, "dssmem_fleet_joins_total"); v != 2 {
+		t.Errorf("dssmem_fleet_joins_total = %v, want 2", v)
+	}
+}
+
+// TestFleetEjectRejoinHints drives the full membership cycle without timers:
+// a worker dies, consecutive failed observations eject it (the ring remaps),
+// a result for its keyspace is computed by the failover worker and queued as
+// a hint, the worker returns, a heartbeat plus half-open probe re-admits it,
+// and the hint is replayed into its cache.
+func TestFleetEjectRejoinHints(t *testing.T) {
+	workers, coord, cts := newFleet(t, 2, func(c *Config) {
+		c.Heartbeat = -1 // no ticker: this test IS the observation source
+		c.EjectAfter = 2
+		c.MaxAttempts = 1
+	})
+
+	// A digest homed on a known worker, chosen by the home ring itself.
+	dig, path := digestHomedOn(t, coord, "w0")
+	const owner = 0
+
+	// Fault-free single-node baseline for the byte-identity check.
+	ref := httptest.NewServer(newWorkerServer(t, service.Config{}).Handler())
+	defer ref.Close()
+	_, refBody := get(t, ref, path)
+
+	// First contact: healthz marks both active.
+	get(t, cts, "/healthz")
+	waitFor(t, 2*time.Second, "roster active", func() bool {
+		return coord.MemberState("w0") == MemberActive && coord.MemberState("w1") == MemberActive
+	})
+
+	// Kill the owner. EjectAfter=2 failed observations (healthz scrapes are
+	// observations) move it active -> ejected, and the ring drops to one.
+	workers[owner].kill()
+	get(t, cts, "/healthz")
+	if st := coord.MemberState("w0"); st != MemberActive {
+		t.Fatalf("after 1 missed observation: w0 %v, want still active", st)
+	}
+	if got := healthzStatus(t, cts); got != "partial" {
+		t.Fatalf("healthz with dead w0 = %q, want partial", got)
+	}
+	waitFor(t, 2*time.Second, "w0 ejected", func() bool {
+		get(t, cts, "/healthz")
+		return coord.MemberState("w0") == MemberEjected
+	})
+	if got, want := len(coord.mem.snapshot().names), 1; got != want {
+		t.Fatalf("routing ring has %d members after ejection, want %d", got, want)
+	}
+
+	// The dead owner's keyspace serves via the survivor — byte-identically —
+	// and the result is queued as a hint for the owner.
+	resp, body := get(t, cts, path)
+	if resp.StatusCode != 200 {
+		t.Fatalf("measure with owner ejected: %d %s", resp.StatusCode, body)
+	}
+	var got, want struct {
+		Measurement json.RawMessage `json:"measurement"`
+	}
+	json.Unmarshal(body, &got)
+	json.Unmarshal(refBody, &want)
+	if string(got.Measurement) != string(want.Measurement) {
+		t.Fatalf("failover measurement differs from single node:\n got %s\nwant %s", got.Measurement, want.Measurement)
+	}
+	if n := coord.hints.pending("w0"); n != 1 {
+		t.Fatalf("hints pending for w0 = %d, want 1", n)
+	}
+
+	// The worker returns and heartbeats. A bare heartbeat must NOT re-admit:
+	// the half-open probe has to see it answer first — then the hint replays.
+	workers[owner].restart(t, service.Config{})
+	postJoin(t, cts, "w0", workers[owner].ts.URL)
+	waitFor(t, 5*time.Second, "w0 re-admitted", func() bool {
+		return coord.MemberState("w0") == MemberActive
+	})
+	waitFor(t, 5*time.Second, "hint replayed into w0's cache", func() bool {
+		r, err := http.Get(workers[owner].ts.URL + "/v1/cache/" + rescache.NSMeasurement + "/" + string(dig))
+		if err != nil {
+			return false
+		}
+		r.Body.Close()
+		return r.StatusCode == 200
+	})
+	if v := coordMetric(t, coord, "dssmem_fleet_hints_queued_total"); v < 1 {
+		t.Errorf("dssmem_fleet_hints_queued_total = %v, want >= 1", v)
+	}
+	if v := coordMetric(t, coord, "dssmem_fleet_hints_replayed_total"); v < 1 {
+		t.Errorf("dssmem_fleet_hints_replayed_total = %v, want >= 1", v)
+	}
+	if got := healthzStatus(t, cts); got != "ok" {
+		t.Fatalf("healthz after rejoin = %q, want ok", got)
+	}
+	// The replayed entry is byte-identical at its owner: fetch it from w0's
+	// cache endpoint and unframe.
+	r, err := http.Get(workers[owner].ts.URL + "/v1/cache/" + rescache.NSMeasurement + "/" + string(dig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed := readAll(t, r)
+	payload, err := rescache.UnframeEntry(framed)
+	if err != nil {
+		t.Fatalf("replayed entry frame invalid: %v", err)
+	}
+	if string(payload) != string(want.Measurement) {
+		t.Fatalf("replayed entry differs from single-node measurement:\n got %s\nwant %s", payload, want.Measurement)
+	}
+}
+
+// TestFleetHalfOpenProbe: a heartbeat from an ejected worker that is still
+// unreachable must NOT put it back on the routing ring — the probe fails and
+// it stays ejected.
+func TestFleetHalfOpenProbe(t *testing.T) {
+	workers, coord, cts := newFleet(t, 2, func(c *Config) {
+		c.Heartbeat = -1
+		c.EjectAfter = 1
+		c.MaxAttempts = 1
+		c.ScrapeTimeout = 300 * time.Millisecond
+	})
+	get(t, cts, "/healthz")
+	workers[0].kill()
+	waitFor(t, 2*time.Second, "w0 ejected", func() bool {
+		get(t, cts, "/healthz")
+		return coord.MemberState("w0") == MemberEjected
+	})
+
+	// The (still dead) worker's heartbeat arrives — a liveness claim the
+	// probe must falsify.
+	postJoin(t, cts, "w0", workers[0].ts.URL)
+	waitFor(t, 3*time.Second, "probe verdict", func() bool {
+		return coord.MemberState("w0") != MemberProbing
+	})
+	if st := coord.MemberState("w0"); st != MemberEjected {
+		t.Fatalf("unreachable worker re-admitted: state %v, want ejected", st)
+	}
+	if got := len(coord.mem.snapshot().names); got != 1 {
+		t.Fatalf("routing ring has %d members, want 1 (w0 must stay off)", got)
+	}
+}
+
+// TestFleetSweepJob: a sweep through the coordinator is journaled as a
+// durable job — X-Job-ID names it, every point is recorded, /v1/jobs serves
+// its state, and the parameter-lookup endpoint reattaches without the header.
+func TestFleetSweepJob(t *testing.T) {
+	jobDir := t.TempDir()
+	_, coord, cts := newFleet(t, 2, func(c *Config) { c.JobDir = jobDir })
+
+	const query = "machine=vclass&query=Q6"
+	resp, body := get(t, cts, "/v1/sweep?"+query)
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Job-ID")
+	if id == "" {
+		t.Fatal("sweep response missing X-Job-ID")
+	}
+	j := coord.Jobs().Get(id)
+	if j == nil {
+		t.Fatalf("job %s not found", id)
+	}
+	snap := j.Snapshot()
+	if snap.State != job.StateDone || snap.Completed != len(experiments.ProcCounts) {
+		t.Fatalf("job after sweep: state %s completed %d, want done with %d points", snap.State, snap.Completed, len(experiments.ProcCounts))
+	}
+
+	_, jbody := get(t, cts, "/v1/jobs/"+id)
+	var js struct {
+		State     string `json:"state"`
+		Completed int    `json:"completed"`
+	}
+	if err := json.Unmarshal(jbody, &js); err != nil {
+		t.Fatal(err)
+	}
+	if js.State != "done" {
+		t.Fatalf("/v1/jobs/{id} state = %q, want done", js.State)
+	}
+	_, lbody := get(t, cts, "/v1/jobs/sweep?"+query)
+	var ls struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(lbody, &ls); err != nil {
+		t.Fatal(err)
+	}
+	if ls.ID != id {
+		t.Fatalf("/v1/jobs/sweep found %q, want %q", ls.ID, id)
+	}
+}
+
+// TestFleetJobResume: a journal left mid-flight by a killed coordinator is
+// resumed by the next one — the job finishes in the background, the sweep is
+// then served from the coordinator's cache, and the resume counter proves it
+// went through the resume path.
+func TestFleetJobResume(t *testing.T) {
+	jobDir := t.TempDir()
+	spec, _ := service.ParseMachine("vclass", "", experiments.Tiny.MemScale)
+	q, _ := service.ParseQuery("Q6")
+	dig, err := service.SweepDigest(experiments.Tiny, spec, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the aftermath of a SIGKILL mid-sweep: a journal holding the
+	// start record and some points, never finished.
+	jm, err := job.Open(jobDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j0, _, err := jm.Start(string(dig), "sweep", "/v1/sweep?machine=vclass&query=Q6", len(experiments.ProcCounts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdig := service.MeasureDigest(experiments.Tiny, q, experiments.ProcCounts[0], workload.Options{Spec: spec})
+	if err := j0.Point(0, string(pdig)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "restarted" coordinator picks the journal up and resumes.
+	_, coord, cts := newFleet(t, 2, func(c *Config) { c.JobDir = jobDir })
+	waitFor(t, 30*time.Second, "job resumed", func() bool {
+		j := coord.Jobs().Get(string(dig))
+		return j != nil && j.State() == job.StateDone
+	})
+	if v := coordMetric(t, coord, "dssmem_fleet_jobs_resumed_total"); v != 1 {
+		t.Errorf("dssmem_fleet_jobs_resumed_total = %v, want 1", v)
+	}
+
+	// The resumed result is in the coordinator cache: the client's re-GET is
+	// a hit and matches the single-node answer byte for byte.
+	ref := httptest.NewServer(newWorkerServer(t, service.Config{}).Handler())
+	defer ref.Close()
+	_, refBody := get(t, ref, "/v1/sweep?machine=vclass&query=Q6")
+	resp, body := get(t, cts, "/v1/sweep?machine=vclass&query=Q6")
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep after resume: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Errorf("sweep after resume X-Cache = %q, want hit (resume already computed it)", resp.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, refBody) {
+		t.Fatalf("resumed sweep differs from single node:\n got %s\nwant %s", body, refBody)
+	}
+}
+
+// TestFleetRepairPass: an entry held only by a non-owner (the aftermath of a
+// failover the hint queue never saw) is copied to its home owner by the
+// anti-entropy pass.
+func TestFleetRepairPass(t *testing.T) {
+	workers, coord, cts := newFleet(t, 2, func(c *Config) {
+		c.Heartbeat = -1
+		c.MaxAttempts = 1
+	})
+	get(t, cts, "/healthz") // both active
+	waitFor(t, 2*time.Second, "roster active", func() bool {
+		return coord.MemberState("w0") == MemberActive && coord.MemberState("w1") == MemberActive
+	})
+
+	// Find a digest homed on w0, then plant its entry only on w1.
+	dig, path := digestHomedOn(t, coord, "w0")
+	get(t, workers[1].ts, path) // w1 computes and caches an entry it does not own
+
+	if n := coord.repairPass(t.Context()); n != 1 {
+		t.Fatalf("repairPass repaired %d entries, want 1", n)
+	}
+	r, err := http.Get(workers[0].ts.URL + "/v1/cache/" + rescache.NSMeasurement + "/" + string(dig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != 200 {
+		t.Fatalf("after repair, owner w0 still misses %s (HTTP %d)", dig.Short(), r.StatusCode)
+	}
+	// Idempotent: the owner now holds it, so a second pass copies nothing.
+	if n := coord.repairPass(t.Context()); n != 0 {
+		t.Fatalf("second repairPass repaired %d entries, want 0", n)
+	}
+}
+
+func readAll(t *testing.T, r *http.Response) []byte {
+	t.Helper()
+	defer r.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

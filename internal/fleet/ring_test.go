@@ -87,6 +87,35 @@ func TestRingRemap(t *testing.T) {
 		}
 	})
 
+	// The membership contract layered on top of remapping: an eject followed
+	// by a rejoin is a no-op on the ring. A returning worker reclaims exactly
+	// its old keyspace (names, not slots, are hashed), so hinted results
+	// replayed to it land back where routing will look for them.
+	t.Run("eject and rejoin round-trips", func(t *testing.T) {
+		rejoined := NewRing([]string{"w0", "w1", "w2", "w3", "w4"}, 0)
+		for _, k := range keys {
+			if five.Owner(k) != rejoined.Owner(k) {
+				t.Fatalf("key %s changed owner across an eject/rejoin cycle: w%d -> w%d",
+					k, five.Owner(k), rejoined.Owner(k))
+			}
+		}
+		// Even with the churn happening via membership (eject = removal from
+		// the routing ring), the interim ring only moves the ejected worker's
+		// keys, and the home ring never changes — pin the composition.
+		interim := NewRing([]string{"w0", "w1", "w2", "w4"}, 0)
+		interimNames := []string{"w0", "w1", "w2", "w4"}
+		fiveNames := []string{"w0", "w1", "w2", "w3", "w4"}
+		for _, k := range keys {
+			oldName := fiveNames[five.Owner(k)]
+			if oldName == "w3" {
+				continue // failed over while w3 was out; returns with the rejoin
+			}
+			if got := interimNames[interim.Owner(k)]; got != oldName {
+				t.Fatalf("key %s owned by surviving %s served by %s during the ejection", k, oldName, got)
+			}
+		}
+	})
+
 	t.Run("remove one", func(t *testing.T) {
 		four := NewRing([]string{"w0", "w1", "w2", "w4"}, 0) // w3 gone
 		moved := 0

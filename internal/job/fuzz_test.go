@@ -1,0 +1,72 @@
+package job
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzJournalReplay throws arbitrary bytes — torn tails, bit flips,
+// duplicate frames, random garbage — at the journal parser and the
+// manager's load path. The invariants: replay never panics; whatever it
+// accepts is a verified frame-boundary prefix (re-parsing the valid prefix
+// reproduces the same records, error-free); and a manager opening a corrupt
+// journal quarantines it instead of trusting or crashing on it.
+func FuzzJournalReplay(f *testing.F) {
+	start := AppendFrame(Record{Type: RecStart, ID: testID, Kind: "sweep", Path: "/v1/sweep?machine=vclass&query=Q6", Total: 5})
+	p0 := AppendFrame(Record{Type: RecPoint, Index: 0, Digest: "d0"})
+	p1 := AppendFrame(Record{Type: RecPoint, Index: 1, Digest: "d1"})
+	done := AppendFrame(Record{Type: RecDone})
+
+	whole := append(append(append(append([]byte{}, start...), p0...), p1...), done...)
+	f.Add(whole)
+	f.Add(whole[:len(whole)-3])                                     // torn tail
+	f.Add(append(append([]byte{}, start...), p0[:7]...))            // tear inside a header
+	f.Add(append(append(append([]byte{}, start...), p0...), p0...)) // duplicate frame
+	flipped := append([]byte{}, whole...)
+	flipped[len(start)+4] ^= 0x40 // bit flip inside a frame
+	f.Add(flipped)
+	f.Add([]byte("not a journal at all\n"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte("x"), 2048)) // oversized headerless run
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, err := ReplayFrames(data)
+		if valid < 0 || valid > len(data) {
+			t.Fatalf("valid offset %d out of range [0,%d]", valid, len(data))
+		}
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("non-ErrCorrupt error: %v", err)
+		}
+		// The accepted prefix must re-parse identically and cleanly: that is
+		// what load() relies on when it truncates to valid and appends.
+		recs2, valid2, err2 := ReplayFrames(data[:valid])
+		if err2 != nil || valid2 != valid || len(recs2) != len(recs) {
+			t.Fatalf("valid prefix unstable: valid %d->%d, recs %d->%d, err=%v",
+				valid, valid2, len(recs), len(recs2), err2)
+		}
+		// Appending a good frame to the accepted prefix must parse through.
+		ext := append(append([]byte{}, data[:valid]...), AppendFrame(Record{Type: RecPoint, Index: 9, Digest: "dx"})...)
+		recs3, _, err3 := ReplayFrames(ext)
+		if err3 != nil || len(recs3) != len(recs)+1 {
+			t.Fatalf("append after truncation broke the journal: recs=%d err=%v", len(recs3), err3)
+		}
+
+		// The manager must survive this journal on disk: load or quarantine,
+		// never panic, never half-trust.
+		dir := t.TempDir()
+		path := filepath.Join(dir, testID+".journal")
+		if werr := os.WriteFile(path, data, 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		m, merr := Open(dir)
+		if merr != nil {
+			t.Fatalf("Open failed on fuzzed journal: %v", merr)
+		}
+		if err != nil && m.Get(testID) != nil && m.Stats().Quarantined == 0 {
+			t.Fatal("corrupt journal loaded without quarantine")
+		}
+	})
+}

@@ -1,0 +1,212 @@
+package job
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testID = "a3f5c2d891b4e67f0123456789abcdef0123456789abcdef0123456789abcdef"
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, existed, err := m.Start(testID, "sweep", "/v1/sweep?machine=vclass&query=Q6", 5)
+	if err != nil || existed {
+		t.Fatalf("start: existed=%v err=%v", existed, err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Point(i, "digest-of-point"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Duplicate point: idempotent, no extra frame.
+	before, _ := os.ReadFile(filepath.Join(dir, testID+".journal"))
+	if err := j.Point(1, "digest-of-point"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadFile(filepath.Join(dir, testID+".journal"))
+	if !bytes.Equal(before, after) {
+		t.Fatal("duplicate point appended a frame")
+	}
+
+	// A new manager over the same dir sees the running job mid-flight.
+	m2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := m2.Get(testID)
+	if j2 == nil {
+		t.Fatal("job not recovered")
+	}
+	snap := j2.Snapshot()
+	if snap.State != StateRunning || snap.Completed != 3 || snap.Total != 5 ||
+		snap.Kind != "sweep" || !strings.Contains(snap.Path, "query=Q6") {
+		t.Fatalf("recovered snapshot = %+v", snap)
+	}
+	if _, ok := j2.HasPoint(2); !ok {
+		t.Fatal("point 2 lost in replay")
+	}
+	if _, ok := j2.HasPoint(4); ok {
+		t.Fatal("point 4 invented by replay")
+	}
+
+	// Finish on the recovered handle; a third manager sees done.
+	j2.Point(3, "d")
+	j2.Point(4, "d")
+	if err := j2.Done(); err != nil {
+		t.Fatal(err)
+	}
+	m3, _ := Open(dir)
+	if st := m3.Get(testID).State(); st != StateDone {
+		t.Fatalf("state after done = %v", st)
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := Open(dir)
+	j, _, _ := m.Start(testID, "sweep", "/v1/sweep?q", 5)
+	j.Point(0, "d0")
+	j.Point(1, "d1")
+
+	// SIGKILL mid-append: a partial frame lands at the tail.
+	p := filepath.Join(dir, testID+".journal")
+	f, err := os.OpenFile(p, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := AppendFrame(Record{Type: RecPoint, Index: 2, Digest: "d2"})
+	f.Write(full[:len(full)/2])
+	f.Close()
+
+	m2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Stats().Truncated != 1 {
+		t.Fatalf("truncated = %d, want 1", m2.Stats().Truncated)
+	}
+	j2 := m2.Get(testID)
+	if j2 == nil || j2.Completed() != 2 {
+		t.Fatalf("recovered %v points, want the 2 before the tear", j2.Completed())
+	}
+	// Appending after recovery lands on a clean frame boundary.
+	if err := j2.Point(2, "d2"); err != nil {
+		t.Fatal(err)
+	}
+	m3, _ := Open(dir)
+	if got := m3.Get(testID).Completed(); got != 3 {
+		t.Fatalf("after post-tear append: %d points, want 3", got)
+	}
+}
+
+func TestJournalCorruptQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := Open(dir)
+	j, _, _ := m.Start(testID, "sweep", "/v1/sweep?q", 5)
+	j.Point(0, "d0")
+	j.Point(1, "d1")
+
+	// Flip a byte mid-file (inside the first point frame, well past the
+	// start record) — not a tear, a lie.
+	p := filepath.Join(dir, testID+".journal")
+	b, _ := os.ReadFile(p)
+	b[len(b)/2] ^= 0xff
+	os.WriteFile(p, b, 0o644)
+
+	m2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Get(testID) != nil {
+		t.Fatal("corrupt journal was trusted")
+	}
+	if m2.Stats().Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", m2.Stats().Quarantined)
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, testID+".journal")); err != nil {
+		t.Fatalf("journal not in quarantine: %v", err)
+	}
+	if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt journal still in place")
+	}
+}
+
+func TestFailedJobRetries(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := Open(dir)
+	j, _, _ := m.Start(testID, "sweep", "/v1/sweep?q", 5)
+	j.Point(0, "d0")
+	j.Fail(errors.New("worker pool on fire"))
+	if st := j.State(); st != StateFailed {
+		t.Fatalf("state = %v", st)
+	}
+
+	// Restart: the failure is visible, then a re-Start resumes it with the
+	// completed point intact.
+	m2, _ := Open(dir)
+	j2 := m2.Get(testID)
+	if snap := j2.Snapshot(); snap.State != StateFailed || snap.Error == "" {
+		t.Fatalf("recovered snapshot = %+v", snap)
+	}
+	j3, existed, err := m2.Start(testID, "sweep", "/v1/sweep?q", 5)
+	if err != nil || !existed || j3 != j2 {
+		t.Fatalf("reattach: existed=%v err=%v", existed, err)
+	}
+	if st := j3.State(); st != StateRunning {
+		t.Fatalf("state after retry = %v", st)
+	}
+	if _, ok := j3.HasPoint(0); !ok {
+		t.Fatal("retry lost the completed point")
+	}
+}
+
+func TestMemoryOnlyManager(t *testing.T) {
+	m, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := m.Start(testID, "sweep", "/v1/sweep?q", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Point(0, "d")
+	j.Point(1, "d")
+	if err := j.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Jobs()) != 1 || m.Stats().Jobs != 1 {
+		t.Fatal("memory-only job not tracked")
+	}
+}
+
+func TestStartRejectsBadID(t *testing.T) {
+	m, _ := Open(t.TempDir())
+	for _, id := range []string{"", "../escape", "a/b", ".hidden", strings.Repeat("x", 200)} {
+		if _, _, err := m.Start(id, "sweep", "/p", 1); err == nil {
+			t.Errorf("id %q accepted", id)
+		}
+	}
+}
+
+func TestJournalEmptyAndStartlessQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	// A journal whose first record is not a start is unusable.
+	frame := AppendFrame(Record{Type: RecPoint, Index: 0, Digest: "d"})
+	os.WriteFile(filepath.Join(dir, "startless.journal"), frame, 0o644)
+	os.WriteFile(filepath.Join(dir, "empty.journal"), nil, 0o644)
+	m, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Quarantined; got != 2 {
+		t.Fatalf("quarantined = %d, want 2", got)
+	}
+}

@@ -1,0 +1,116 @@
+// Package job makes long-running requests durable. A job is a unit of work
+// (today: a multi-point sweep) whose progress is recorded in an append-only
+// write-ahead journal, one checksummed frame per event, so a process that is
+// SIGKILLed mid-job can replay the journal on restart, see exactly which
+// points completed, and resume without recomputing any of them — completed
+// points come back as cache hits from the content-addressed store.
+//
+// The journal reuses the rescache entry framing (one-line JSON header with
+// length + SHA-256, then the payload), concatenated: the header's length
+// field makes frames self-delimiting, so a journal is parsed sequentially
+// and every record is verified before it is believed. A torn tail — the
+// half-written frame a crash leaves behind — is expected and silently
+// truncated; anything else that fails verification mid-file means the
+// journal is corrupt, and the whole file is quarantined rather than
+// half-trusted, mirroring how rescache quarantines corrupt cache entries.
+package job
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"dssmem/internal/rescache"
+)
+
+// Record is one journal event. Type discriminates; the other fields are
+// populated per type as documented on the constants.
+type Record struct {
+	Type string `json:"type"`
+
+	// start records only.
+	ID    string `json:"id,omitempty"`    // job ID (the result digest)
+	Kind  string `json:"kind,omitempty"`  // e.g. "sweep"
+	Path  string `json:"path,omitempty"`  // request path + query to re-issue on resume
+	Total int    `json:"total,omitempty"` // number of points the job will complete
+
+	// point records only.
+	Index  int    `json:"index,omitempty"`  // point position within the job
+	Digest string `json:"digest,omitempty"` // the completed point's result digest
+
+	// fail records only.
+	Error string `json:"error,omitempty"`
+}
+
+// The record types.
+const (
+	RecStart = "start" // job began: identity, shape, and how to re-issue it
+	RecPoint = "point" // one point completed and is cached under Digest
+	RecDone  = "done"  // every point completed and the result was assembled
+	RecFail  = "fail"  // the job errored; a later start may retry it
+)
+
+// ErrCorrupt marks a journal that failed verification somewhere other than a
+// torn tail. Test with errors.Is.
+var ErrCorrupt = errors.New("job: corrupt journal")
+
+// maxHeaderLine bounds the frame header search: a real header is a short
+// JSON object, so a longer newline-free prefix is corruption, not a tear.
+const maxHeaderLine = 512
+
+// AppendFrame returns record encoded as one journal frame, ready to append.
+func AppendFrame(rec Record) []byte {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		// Record is plain data; Marshal cannot fail.
+		panic(fmt.Sprintf("job: marshal record: %v", err))
+	}
+	return rescache.FrameEntry(b)
+}
+
+// ReplayFrames parses a journal byte-by-byte into its verified records.
+// valid reports how many bytes of b form the verified prefix; a caller
+// reopening the journal for append must truncate to valid first, or the torn
+// tail would corrupt the next frame. The error is non-nil only for
+// corruption (ErrCorrupt): a torn tail — an incomplete final frame, the
+// normal residue of a crash mid-append — terminates the parse silently.
+// Records after a corrupt frame are never returned, even if they verify:
+// once the sequence is broken there is no trusting what follows it.
+func ReplayFrames(b []byte) (recs []Record, valid int, err error) {
+	off := 0
+	for off < len(b) {
+		rest := b[off:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			if len(rest) > maxHeaderLine {
+				return recs, off, fmt.Errorf("%w: unterminated header at offset %d", ErrCorrupt, off)
+			}
+			return recs, off, nil // torn tail: header never finished
+		}
+		if nl > maxHeaderLine {
+			return recs, off, fmt.Errorf("%w: oversized header at offset %d", ErrCorrupt, off)
+		}
+		var h struct {
+			Len int `json:"len"`
+		}
+		if jerr := json.Unmarshal(rest[:nl], &h); jerr != nil || h.Len < 0 {
+			return recs, off, fmt.Errorf("%w: bad header at offset %d", ErrCorrupt, off)
+		}
+		end := nl + 1 + h.Len
+		if end > len(rest) {
+			return recs, off, nil // torn tail: payload cut short by the crash
+		}
+		payload, uerr := rescache.UnframeEntry(rest[:end])
+		if uerr != nil {
+			return recs, off, fmt.Errorf("%w: frame at offset %d: %v", ErrCorrupt, off, uerr)
+		}
+		var rec Record
+		if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+			return recs, off, fmt.Errorf("%w: record at offset %d: %v", ErrCorrupt, off, jerr)
+		}
+		recs = append(recs, rec)
+		off += end
+	}
+	return recs, off, nil
+}

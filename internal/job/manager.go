@@ -1,0 +1,352 @@
+package job
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateRunning State = "running" // started, not every point recorded
+	StateDone    State = "done"    // assembled; the result is in the cache
+	StateFailed  State = "failed"  // errored; a later Start retries it
+)
+
+// QuarantineDir is where corrupt journals are moved, relative to the
+// manager's directory.
+const QuarantineDir = "quarantine"
+
+// Snapshot is a job's externally visible state, served by /v1/jobs.
+type Snapshot struct {
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	Path      string `json:"path"`
+	State     State  `json:"state"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Error     string `json:"error,omitempty"`
+	Updated   int64  `json:"updated_unix"`
+}
+
+// Stats counts manager-level events for telemetry.
+type Stats struct {
+	Jobs        int // jobs known
+	Running     int // jobs currently running
+	Quarantined int // corrupt journals moved aside at Open
+	Truncated   int // torn tails cut at Open
+}
+
+// validID keeps job IDs safe as file names: digest-shaped or close to it.
+var validID = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,127}$`)
+
+// Manager owns a directory of job journals. Open replays every journal in
+// it, so jobs survive the process: a coordinator SIGKILLed mid-sweep finds
+// the job running on restart and resumes it. A manager opened with an empty
+// directory path keeps jobs in memory only — same API, no durability.
+type Manager struct {
+	dir  string
+	mu   sync.Mutex
+	jobs map[string]*Job
+
+	quarantined int
+	truncated   int
+}
+
+// Open loads (or creates) the journal directory and replays what it finds.
+// Corrupt journals are quarantined to dir/quarantine and do not fail Open:
+// losing a journal costs recomputation bookkeeping, never correctness.
+func Open(dir string) (*Manager, error) {
+	m := &Manager{dir: dir, jobs: make(map[string]*Job)}
+	if dir == "" {
+		return m, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("job: open %s: %w", dir, err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.journal"))
+	if err != nil {
+		return nil, fmt.Errorf("job: scan %s: %w", dir, err)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		m.load(p)
+	}
+	return m, nil
+}
+
+// load replays one journal file into a Job, quarantining it on corruption.
+func (m *Manager) load(path string) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		m.quarantine(path)
+		return
+	}
+	recs, valid, err := ReplayFrames(b)
+	if err != nil || len(recs) == 0 || recs[0].Type != RecStart || !validID.MatchString(recs[0].ID) {
+		m.quarantine(path)
+		return
+	}
+	if valid < len(b) {
+		// Torn tail from the crash: cut it so appends start on a frame
+		// boundary. The lost frame's point recomputes as a cache hit.
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			m.quarantine(path)
+			return
+		}
+		m.truncated++
+	}
+	j := &Job{
+		m:       m,
+		id:      recs[0].ID,
+		kind:    recs[0].Kind,
+		path:    recs[0].Path,
+		total:   recs[0].Total,
+		state:   StateRunning,
+		points:  make(map[int]string),
+		updated: time.Now(),
+	}
+	for _, rec := range recs[1:] {
+		switch rec.Type {
+		case RecPoint:
+			j.points[rec.Index] = rec.Digest
+		case RecDone:
+			j.state = StateDone
+		case RecFail:
+			j.state = StateFailed
+			j.errMsg = rec.Error
+		case RecStart: // a retry of a failed job
+			j.state = StateRunning
+			j.errMsg = ""
+		}
+	}
+	m.jobs[j.id] = j
+}
+
+func (m *Manager) quarantine(path string) {
+	qdir := filepath.Join(m.dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(path, filepath.Join(qdir, filepath.Base(path))) == nil {
+			m.quarantined++
+			return
+		}
+	}
+	os.Remove(path)
+	m.quarantined++
+}
+
+// Start creates job id or reattaches to it. An existing done job is returned
+// as-is (the caller serves from cache); a failed one flips back to running.
+// The bool reports whether the job already existed.
+func (m *Manager) Start(id, kind, path string, total int) (*Job, bool, error) {
+	if !validID.MatchString(id) {
+		return nil, false, fmt.Errorf("job: invalid id %q", id)
+	}
+	m.mu.Lock()
+	if j := m.jobs[id]; j != nil {
+		m.mu.Unlock()
+		j.mu.Lock()
+		if j.state == StateFailed {
+			j.state = StateRunning
+			j.errMsg = ""
+			j.updated = time.Now()
+			j.append(Record{Type: RecStart, ID: id, Kind: kind, Path: path, Total: total})
+		}
+		j.mu.Unlock()
+		return j, true, nil
+	}
+	j := &Job{
+		m:       m,
+		id:      id,
+		kind:    kind,
+		path:    path,
+		total:   total,
+		state:   StateRunning,
+		points:  make(map[int]string),
+		updated: time.Now(),
+	}
+	m.jobs[id] = j
+	m.mu.Unlock()
+	j.mu.Lock()
+	err := j.append(Record{Type: RecStart, ID: id, Kind: kind, Path: path, Total: total})
+	j.mu.Unlock()
+	return j, false, err
+}
+
+// Get returns job id, or nil.
+func (m *Manager) Get(id string) *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+// Jobs returns every known job, ordered by ID.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].id < out[k].id })
+	return out
+}
+
+// Stats snapshots manager counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{Jobs: len(m.jobs), Quarantined: m.quarantined, Truncated: m.truncated}
+	for _, j := range m.jobs {
+		if j.State() == StateRunning {
+			s.Running++
+		}
+	}
+	return s
+}
+
+// Job is one journaled unit of work. All methods are safe for concurrent
+// use; appends are fsynced so an acknowledged point survives SIGKILL.
+type Job struct {
+	m *Manager
+
+	mu      sync.Mutex
+	file    *os.File
+	id      string
+	kind    string
+	path    string
+	total   int
+	points  map[int]string
+	state   State
+	errMsg  string
+	updated time.Time
+}
+
+// append writes one frame to the journal. Callers hold j.mu. A memory-only
+// manager appends nowhere.
+func (j *Job) append(rec Record) error {
+	if j.m.dir == "" {
+		return nil
+	}
+	if j.file == nil {
+		f, err := os.OpenFile(filepath.Join(j.m.dir, j.id+".journal"),
+			os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("job: open journal: %w", err)
+		}
+		j.file = f
+	}
+	if _, err := j.file.Write(AppendFrame(rec)); err != nil {
+		return fmt.Errorf("job: append: %w", err)
+	}
+	if err := j.file.Sync(); err != nil {
+		return fmt.Errorf("job: sync: %w", err)
+	}
+	return nil
+}
+
+// Point records that point idx completed with the given result digest.
+// Duplicate indices are idempotent — replayed or raced points append once.
+func (j *Job) Point(idx int, digest string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone {
+		return nil
+	}
+	if _, ok := j.points[idx]; ok {
+		return nil
+	}
+	j.points[idx] = digest
+	j.updated = time.Now()
+	return j.append(Record{Type: RecPoint, Index: idx, Digest: digest})
+}
+
+// Done marks the job complete and releases its journal handle.
+func (j *Job) Done() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone {
+		return nil
+	}
+	j.state = StateDone
+	j.updated = time.Now()
+	err := j.append(Record{Type: RecDone})
+	j.closeFile()
+	return err
+}
+
+// Fail marks the job failed; a later Start retries it.
+func (j *Job) Fail(cause error) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return nil
+	}
+	j.state = StateFailed
+	j.errMsg = cause.Error()
+	j.updated = time.Now()
+	return j.append(Record{Type: RecFail, Error: j.errMsg})
+}
+
+func (j *Job) closeFile() {
+	if j.file != nil {
+		j.file.Close()
+		j.file = nil
+	}
+}
+
+// ID returns the job's identifier (its result digest).
+func (j *Job) ID() string { return j.id }
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Path returns the request path + query recorded at start, the handle a
+// resume loop re-issues.
+func (j *Job) Path() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.path
+}
+
+// Completed reports how many distinct points have been recorded.
+func (j *Job) Completed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.points)
+}
+
+// HasPoint reports whether point idx already completed, and under which
+// digest — the resume path's "skip this, it's cached" check.
+func (j *Job) HasPoint(idx int) (string, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	d, ok := j.points[idx]
+	return d, ok
+}
+
+// Snapshot returns the job's externally visible state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID:        j.id,
+		Kind:      j.kind,
+		Path:      j.path,
+		State:     j.state,
+		Total:     j.total,
+		Completed: len(j.points),
+		Error:     j.errMsg,
+		Updated:   j.updated.Unix(),
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"io/fs"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -234,6 +236,53 @@ func (s *Store) path(ns string, d Digest) string {
 		prefix = string(d[:2])
 	}
 	return filepath.Join(s.dir, ns, prefix, string(d)+".json")
+}
+
+// Digests lists every digest held under ns, union of the memory and disk
+// tiers, sorted. It powers the anti-entropy repair pass: a coordinator
+// compares these listings across workers to find entries a failover computed
+// on the wrong owner. Disk scan errors are ignored — a listing is advisory,
+// the frames themselves are verified on every read.
+func (s *Store) Digests(ns string) []Digest {
+	set := make(map[Digest]struct{})
+	prefix := ns + "/"
+	s.mu.Lock()
+	for k := range s.mem {
+		if strings.HasPrefix(k, prefix) {
+			set[Digest(k[len(prefix):])] = struct{}{}
+		}
+	}
+	s.mu.Unlock()
+	if s.dir != "" && validNS.MatchString(ns) {
+		paths, _ := s.fsys.Glob(filepath.Join(s.dir, ns, "*", "*.json"))
+		for _, p := range paths {
+			base := strings.TrimSuffix(filepath.Base(p), ".json")
+			if validDigestShape(base) {
+				set[Digest(base)] = struct{}{}
+			}
+		}
+	}
+	out := make([]Digest, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// validDigestShape matches the hex digests the store writes; tmp files and
+// strays in the cache tree are skipped by listings.
+func validDigestShape(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // Get returns the stored bytes for (ns, d): memory first, then disk (a

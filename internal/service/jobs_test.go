@@ -1,0 +1,191 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dssmem/internal/experiments"
+	"dssmem/internal/job"
+	"dssmem/internal/rescache"
+	"dssmem/internal/tpch"
+	"dssmem/internal/workload"
+)
+
+// TestSweepJobJournaled: a live sweep through the worker API is recorded as
+// a durable job — the response names it via X-Job-ID, and the jobs API
+// serves its terminal state with every point accounted for.
+func TestSweepJobJournaled(t *testing.T) {
+	srv := newTestServerCfg(t, Config{JobDir: t.TempDir()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/v1/sweep?machine=vclass&query=Q6")
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Job-ID")
+	if id == "" {
+		t.Fatal("sweep response missing X-Job-ID")
+	}
+
+	_, jbody := get(t, ts, "/v1/jobs/"+id)
+	var snap job.Snapshot
+	if err := json.Unmarshal(jbody, &snap); err != nil {
+		t.Fatalf("job body %s: %v", jbody, err)
+	}
+	if snap.State != job.StateDone || snap.Completed != len(experiments.ProcCounts) {
+		t.Fatalf("job = %+v, want done with %d points", snap, len(experiments.ProcCounts))
+	}
+	_, lbody := get(t, ts, "/v1/jobs")
+	if !strings.Contains(string(lbody), id) {
+		t.Fatalf("/v1/jobs listing misses job %s: %s", id, lbody)
+	}
+	resp, ebody := get(t, ts, "/v1/jobs/"+strings.Repeat("0", 64))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d %s, want 404", resp.StatusCode, ebody)
+	}
+}
+
+// TestSweepJobResume: a journal left running by a killed daemon is picked up
+// on the next start — the sweep finishes in the background and the client's
+// retried GET is served from cache, not recomputed.
+func TestSweepJobResume(t *testing.T) {
+	tinyDataOnce.Do(func() { tinyData = tpch.Generate(experiments.Tiny.SF, experiments.Tiny.Seed) })
+	jobDir := t.TempDir()
+	spec, err := ParseMachine("vclass", "", experiments.Tiny.MemScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery("Q6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dig, err := SweepDigest(experiments.Tiny, spec, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The moment after a SIGKILL: start record and one completed point in the
+	// journal, no terminal record.
+	jm, err := job.Open(jobDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j0, _, err := jm.Start(string(dig), "sweep", "/v1/sweep?machine=vclass&query=Q6", len(experiments.ProcCounts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdig := MeasureDigest(experiments.Tiny, q, experiments.ProcCounts[0], workload.Options{Spec: spec})
+	if err := j0.Point(0, string(pdig)); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart" the daemon on the same journal dir. Data is passed in the
+	// config (not patched afterwards) because the resume goroutine starts
+	// inside New.
+	srv, err := New(Config{Preset: experiments.Tiny, Data: tinyData, JobDir: jobDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j := srv.Jobs().Get(string(dig))
+		if j != nil && j.State() == job.StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job not resumed: %v", j)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, body := get(t, ts, "/v1/sweep?machine=vclass&query=Q6")
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep after resume: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Errorf("sweep after resume X-Cache = %q, want hit", resp.Header.Get("X-Cache"))
+	}
+	_, metrics := get(t, ts, "/metrics")
+	if !strings.Contains(string(metrics), "dssmem_jobs_resumed_total 1") {
+		t.Errorf("metrics missing dssmem_jobs_resumed_total 1")
+	}
+	if !strings.Contains(string(metrics), `dssmem_jobs{state="done"} 1`) {
+		t.Errorf("metrics missing dssmem_jobs{state=\"done\"} 1")
+	}
+
+	// The resumed bytes match a fresh computation on a clean server.
+	ref := httptest.NewServer(newTestServer(t, "").Handler())
+	defer ref.Close()
+	_, refBody := get(t, ref, "/v1/sweep?machine=vclass&query=Q6")
+	if !bytes.Equal(body, refBody) {
+		t.Fatalf("resumed sweep differs from fresh compute:\n got %s\nwant %s", body, refBody)
+	}
+}
+
+// TestCacheFillEndpoint: the PUT side of hinted handoff — a framed entry
+// round-trips through PUT and GET byte-identically, shows up in the
+// namespace listing, and corrupt frames or bad namespaces change nothing.
+func TestCacheFillEndpoint(t *testing.T) {
+	srv := newTestServer(t, "")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	payload := []byte(`{"planted":true}`)
+	dig := strings.Repeat("ab", 32)
+	put := func(ns, dig string, body []byte) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/cache/"+ns+"/"+dig, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	framed := rescache.FrameEntry(payload)
+	if code := put(rescache.NSMeasurement, dig, framed); code != http.StatusNoContent {
+		t.Fatalf("PUT framed entry: %d, want 204", code)
+	}
+	resp, body := get(t, ts, "/v1/cache/"+rescache.NSMeasurement+"/"+dig)
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET after fill: %d", resp.StatusCode)
+	}
+	if !bytes.Equal(body, framed) {
+		t.Fatalf("fill did not round-trip:\n got %q\nwant %q", body, framed)
+	}
+	_, listing := get(t, ts, "/v1/cache/"+rescache.NSMeasurement)
+	if !strings.Contains(string(listing), dig) {
+		t.Fatalf("listing misses filled digest: %s", listing)
+	}
+
+	// A frame with a flipped payload byte fails verification before storage.
+	bad := rescache.FrameEntry(payload)
+	bad[len(bad)-1] ^= 0xff
+	other := strings.Repeat("cd", 32)
+	if code := put(rescache.NSMeasurement, other, bad); code != http.StatusBadRequest {
+		t.Fatalf("PUT corrupt frame: %d, want 400", code)
+	}
+	if resp, _ := get(t, ts, "/v1/cache/"+rescache.NSMeasurement+"/"+other); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("corrupt fill stored something: GET = %d, want 404", resp.StatusCode)
+	}
+	if code := put("nonsense", dig, framed); code != http.StatusBadRequest {
+		t.Fatalf("PUT to unknown namespace: %d, want 400", code)
+	}
+	if code := put(rescache.NSMeasurement, "not-a-digest", framed); code != http.StatusBadRequest {
+		t.Fatalf("PUT malformed digest: %d, want 400", code)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"dssmem/internal/job"
 	"dssmem/internal/telemetry"
 )
 
@@ -88,6 +89,19 @@ func (s *Server) initMetrics() {
 	r.PollGauge("dssmem_uptime_seconds", "Seconds since the daemon started.",
 		nil, func(emit func(float64, ...string)) {
 			emit(time.Since(s.start).Seconds())
+		})
+
+	s.jobsResumed = r.Counter("dssmem_jobs_resumed_total",
+		"Unfinished journaled sweeps resumed after a restart.")
+	r.PollGauge("dssmem_jobs", "Journaled jobs by state.",
+		[]string{"state"}, func(emit func(float64, ...string)) {
+			counts := map[job.State]int{}
+			for _, j := range s.jobs.Jobs() {
+				counts[j.State()]++
+			}
+			for _, st := range []job.State{job.StateRunning, job.StateDone, job.StateFailed} {
+				emit(float64(counts[st]), string(st))
+			}
 		})
 }
 

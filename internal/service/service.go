@@ -22,16 +22,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"dssmem/internal/core"
 	"dssmem/internal/experiments"
 	"dssmem/internal/fault"
+	"dssmem/internal/job"
 	"dssmem/internal/machine"
 	"dssmem/internal/rescache"
 	"dssmem/internal/telemetry"
@@ -49,6 +53,11 @@ type Config struct {
 	Data *tpch.Data
 	// CacheDir persists results across restarts ("" = memory only).
 	CacheDir string
+	// JobDir persists sweep-job journals (internal/job): each completed
+	// sweep point is recorded so a killed daemon resumes unfinished sweeps
+	// on restart, recomputing nothing the cache already holds. "" keeps
+	// jobs in memory only (no resume across restarts).
+	JobDir string
 	// Store overrides the result store built from CacheDir (the chaos
 	// harness wires one over a fault-injecting filesystem). nil = open from
 	// CacheDir.
@@ -94,9 +103,11 @@ type Server struct {
 	cfg   Config
 	data  *tpch.Data
 	store *rescache.Store
+	jobs  *job.Manager
 	sem   chan struct{}
 	mux   *http.ServeMux
 	start time.Time
+	bg    sync.WaitGroup // background job resume; Close waits for it
 
 	// base is cancelled by Close: it hard-aborts every in-flight run after
 	// the HTTP layer has drained (or when draining is abandoned).
@@ -123,6 +134,8 @@ type Server struct {
 	runSeconds   *telemetry.Hist    // wall-clock simulation time
 	reqSeconds   *telemetry.HistVec // end-to-end request latency, by endpoint
 	phaseSeconds *telemetry.HistVec // per-phase time, by phase name
+
+	jobsResumed *telemetry.Counter // journaled sweeps resumed after restart
 
 	// runHook replaces the workload runner in tests (nil = workload.RunContext).
 	runHook func(context.Context, workload.Options) (*workload.Stats, error)
@@ -169,11 +182,16 @@ func New(cfg Config) (*Server, error) {
 	if data == nil {
 		data = tpch.Generate(cfg.Preset.SF, cfg.Preset.Seed)
 	}
+	jobs, err := job.Open(cfg.JobDir)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
 	base, stop := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:      cfg,
 		data:     data,
 		store:    store,
+		jobs:     jobs,
 		sem:      make(chan struct{}, cfg.Workers),
 		start:    time.Now(),
 		base:     base,
@@ -192,6 +210,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("GET /v1/figure/{id}", s.instrument("/v1/figure", s.handleFigure))
 	s.mux.Handle("GET /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.Handle("GET /v1/cache/{ns}/{digest}", s.instrument("/v1/cache", s.handleCacheEntry))
+	s.mux.Handle("PUT /v1/cache/{ns}/{digest}", s.instrument("/v1/cache", s.handleCachePut))
+	s.mux.Handle("GET /v1/cache/{ns}", s.instrument("/v1/cache", s.handleCacheList))
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.resumeUnfinished()
 	return s, nil
 }
 
@@ -210,11 +233,15 @@ func (s *Server) Registry() *telemetry.Registry { return s.reg }
 // /debug/requests on the API mux; the debug listener mounts it too).
 func (s *Server) DebugRequests() http.Handler { return s.tracker }
 
+// Jobs exposes the sweep-job manager (tests, debugging).
+func (s *Server) Jobs() *job.Manager { return s.jobs }
+
 // Close hard-cancels every in-flight run: waiters are released with an error
-// and the underlying simulations abort at their next scheduling quantum.
-// Idempotent.
+// and the underlying simulations abort at their next scheduling quantum —
+// including any background job resume, which it then waits out. Idempotent.
 func (s *Server) Close() error {
 	s.baseStop(errShutdown)
+	s.bg.Wait()
 	return nil
 }
 
@@ -590,18 +617,132 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	raw, hit, err := s.store.Do(ctx, rescache.NSSweep, dig, func(runCtx context.Context) ([]byte, error) {
-		series, err := s.env(runCtx).Sweep(spec.Name, spec, q, workload.Options{})
+	// The sweep is journaled as a durable job: each completed point lands in
+	// the journal, so a daemon killed mid-sweep resumes the job on restart
+	// with the finished points answered from the result cache.
+	j, _, jerr := s.jobs.Start(string(dig), "sweep", "/v1/sweep?"+r.URL.RawQuery, len(experiments.ProcCounts))
+	if jerr == nil {
+		w.Header().Set("X-Job-ID", string(dig))
+	}
+	raw, hit, err := s.runSweep(ctx, spec, q, dig, j)
+	if err != nil {
+		if j != nil {
+			j.Fail(err)
+		}
+		s.failRun(w, err)
+		return
+	}
+	if j != nil {
+		j.Done()
+	}
+	s.respondRaw(w, r, hit, dig, raw)
+}
+
+// runSweep computes (or recalls) one sweep, journaling each completed point
+// on j. Shared by the live handler and the restart resume path.
+func (s *Server) runSweep(ctx context.Context, spec machine.Spec, q tpch.QueryID, dig rescache.Digest, j *job.Job) ([]byte, bool, error) {
+	return s.store.Do(ctx, rescache.NSSweep, dig, func(runCtx context.Context) ([]byte, error) {
+		env := s.env(runCtx)
+		if j != nil {
+			env.OnPoint = func(idx, procs int, pdig rescache.Digest, hit bool) {
+				j.Point(idx, string(pdig))
+			}
+		}
+		series, err := env.Sweep(spec.Name, spec, q, workload.Options{})
 		if err != nil {
 			return nil, err
 		}
 		return json.Marshal(series)
 	})
-	if err != nil {
-		s.failRun(w, err)
+}
+
+// resumeUnfinished re-runs, in the background, every journaled sweep still
+// marked running after a restart: the kill interrupted it mid-flight. The
+// completed points hit the result cache (memory or disk), so only the
+// interrupted remainder computes.
+func (s *Server) resumeUnfinished() {
+	var unfinished []*job.Job
+	for _, j := range s.jobs.Jobs() {
+		if j.State() == job.StateRunning {
+			unfinished = append(unfinished, j)
+		}
+	}
+	if len(unfinished) == 0 {
 		return
 	}
-	s.respondRaw(w, r, hit, dig, raw)
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		for _, j := range unfinished {
+			s.resumeJob(j)
+		}
+	}()
+}
+
+func (s *Server) resumeJob(j *job.Job) {
+	u, err := url.Parse(j.Path())
+	if err != nil {
+		j.Fail(fmt.Errorf("service: resume: unparseable job path %q: %w", j.Path(), err))
+		return
+	}
+	qp := u.Query()
+	spec, err := parseMachine(qp.Get("machine"), qp.Get("cpus"), s.cfg.Preset.MemScale)
+	if err != nil {
+		j.Fail(fmt.Errorf("service: resume job %s: %w", j.ID(), err))
+		return
+	}
+	q, err := parseQuery(qp.Get("query"))
+	if err != nil {
+		j.Fail(fmt.Errorf("service: resume job %s: %w", j.ID(), err))
+		return
+	}
+	dig, err := SweepDigest(s.cfg.Preset, spec, q)
+	if err != nil || string(dig) != j.ID() {
+		if err == nil {
+			err = fmt.Errorf("service: resume: job %s path resolves to digest %s (preset or version skew)", j.ID(), dig.Short())
+		}
+		j.Fail(err)
+		return
+	}
+	if _, _, err := s.runSweep(s.base, spec, q, dig, j); err != nil {
+		j.Fail(fmt.Errorf("service: resume: %w", err))
+		return
+	}
+	j.Done()
+	s.jobsResumed.Inc()
+	if s.cfg.Log != nil {
+		s.cfg.Log.Info("resumed job", "job", j.ID(), "kind", "sweep", "query", u.RawQuery)
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.jobs.Jobs()
+	snaps := make([]job.Snapshot, len(jobs))
+	for i, j := range jobs {
+		snaps[i] = j.Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Jobs []job.Snapshot `json:"jobs"`
+	}{snaps})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.Get(r.PathValue("id"))
+	if j == nil {
+		// Control-plane miss: same body shape as fail, but these endpoints
+		// are not instrumented, so no error counter.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(struct {
+			Error     string `json:"error"`
+			Retriable bool   `json:"retriable"`
+			Status    int    `json:"status"`
+		}{fmt.Sprintf("unknown job %q", r.PathValue("id")), false, http.StatusNotFound})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(j.Snapshot())
 }
 
 // handleCacheEntry is the peer-fetch endpoint: it serves one cached entry's
@@ -640,6 +781,63 @@ func (s *Server) handleCacheEntry(w http.ResponseWriter, r *http.Request) {
 	q.SetCache("hit")
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(rescache.FrameEntry(b))
+}
+
+// handleCachePut is the cache-fill endpoint — the receiving side of hinted
+// handoff and anti-entropy repair. The body is the same checksummed frame
+// GET serves; it is verified before anything is stored, so a corrupted or
+// truncated transfer changes nothing. Storing is idempotent.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	ns := r.PathValue("ns")
+	switch ns {
+	case rescache.NSMeasurement, rescache.NSFigure, rescache.NSSweep:
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown cache namespace %q", ns))
+		return
+	}
+	dig := rescache.Digest(r.PathValue("digest"))
+	if !validDigest(string(dig)) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("malformed digest %q", dig))
+		return
+	}
+	framed, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("reading cache fill body: %w", err))
+		return
+	}
+	payload, err := rescache.UnframeEntry(framed)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("cache fill frame rejected: %w", err))
+		return
+	}
+	s.store.Put(ns, dig, payload)
+	q := telemetry.FromContext(r.Context())
+	q.SetDigest(string(dig))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCacheList serves the digest inventory of one namespace (memory ∪
+// disk tiers) — the comparison input for the coordinator's anti-entropy
+// repair pass.
+func (s *Server) handleCacheList(w http.ResponseWriter, r *http.Request) {
+	ns := r.PathValue("ns")
+	switch ns {
+	case rescache.NSMeasurement, rescache.NSFigure, rescache.NSSweep:
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown cache namespace %q", ns))
+		return
+	}
+	digests := s.store.Digests(ns)
+	names := make([]string, len(digests))
+	for i, d := range digests {
+		names[i] = string(d)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Namespace string   `json:"namespace"`
+		Count     int      `json:"count"`
+		Digests   []string `json:"digests"`
+	}{ns, len(names), names})
 }
 
 // validDigest accepts exactly the hex form rescache digests take; anything

@@ -20,6 +20,7 @@ import (
 
 	"dssmem/internal/cache"
 	"dssmem/internal/db/btree"
+	"dssmem/internal/db/engine"
 	"dssmem/internal/db/storage"
 	"dssmem/internal/experiments"
 	"dssmem/internal/fleet"
@@ -290,6 +291,85 @@ func benchSingleRun8(b *testing.B, parallel bool) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- warm-state checkpoints and interval sampling (DESIGN.md §15) ---
+
+// BenchmarkColdPrelude measures the warmup prelude every cold run pays before
+// its measured region: engine open plus the TPC-H bulk load, at the small
+// preset. BenchmarkWarmRestore is the same state reached via a checkpoint.
+func BenchmarkColdPrelude(b *testing.B) {
+	data := smallData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.CaptureWarm(workload.Options{Data: data}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmRestore measures rebuilding the warm state from a captured
+// image (engine.FromImage) instead of re-running the prelude. The checkpoint
+// acceptance bar is this beating BenchmarkColdPrelude by at least 3x.
+func BenchmarkWarmRestore(b *testing.B) {
+	data := smallData()
+	img, err := workload.CaptureWarm(workload.Options{Data: data})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := engine.Config{PoolPages: tpch.PoolPagesFor(data)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.FromImage(img, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSampledFigure regenerates one figure per iteration on the fast path
+// dssbench -ckpt -sample-quanta takes: warm-state checkpoints on (one capture,
+// fourteen restores per figure) and SMARTS interval sampling at the gate's
+// default period. The reported metric is the sampled estimate of the same
+// headline number the exact benchmark reports, so the exact-vs-sampled pair
+// shows both the speedup and the estimation error side by side.
+func benchSampledFigure(b *testing.B, id int, metric func(*experiments.Result) (string, float64)) {
+	b.Helper()
+	var last *experiments.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := experiments.NewEnvWith(experiments.Small, smallData())
+		env.Checkpoints = true
+		env.SampleQuanta = experiments.DefaultSamplingQuanta
+		r, err := experiments.RunFigure(env, id, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if metric != nil && last != nil {
+		name, v := metric(last)
+		b.ReportMetric(v, name)
+	}
+}
+
+// BenchmarkSampledFig5 is BenchmarkFig5 under checkpoints + sampling.
+func BenchmarkSampledFig5(b *testing.B) {
+	benchSampledFigure(b, 5, func(r *experiments.Result) (string, float64) {
+		if p := point(r, "Q6", 8); p != nil {
+			return "sgi-cyc/Minstr@8p", p.cyclesPerM
+		}
+		return "none", 0
+	})
+}
+
+// BenchmarkSampledFig9 is BenchmarkFig9 under checkpoints + sampling.
+func BenchmarkSampledFig9(b *testing.B) {
+	benchSampledFigure(b, 9, func(r *experiments.Result) (string, float64) {
+		if p := point(r, "Q6", 2); p != nil {
+			return "hpv-memlat-cyc@2p", p.memLat
+		}
+		return "none", 0
+	})
 }
 
 // BenchmarkTPCHGenerate measures data generation.

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"dssmem"
+	"dssmem/internal/rescache"
 	"dssmem/internal/telemetry"
 )
 
@@ -55,6 +56,9 @@ func main() {
 	query := flag.String("query", "Q6", "observed run: query (Q6, Q21, Q12)")
 	mach := flag.String("machine", "vclass", "observed run: machine (vclass or origin)")
 	procs := flag.Int("procs", 4, "observed run: number of parallel query processes")
+	ckpt := flag.Bool("ckpt", false, "restore the warmup prelude from warm-state checkpoints (captured once per dataset identity)")
+	ckptDir := flag.String("ckpt-dir", "", "persist results and warm-state checkpoints in this directory (implies -ckpt)")
+	sampleQuanta := flag.Int("sample-quanta", 0, "SMARTS sampling period in scheduling quanta: simulate 1 of every N in detail (0 or 1 = exact; estimates, cached under their own digests)")
 	flag.Parse()
 
 	observed := *sample > 0 || *events != "" || *byOperator
@@ -84,6 +88,17 @@ func main() {
 	env := dssmem.NewEnv(p)
 	env.Parallel = *parallel
 	env.ParallelWindow = *parWindow
+	env.Checkpoints = *ckpt || *ckptDir != ""
+	env.SampleQuanta = *sampleQuanta
+	tally := &dssmem.RunTally{}
+	env.Tally = tally
+	if *ckptDir != "" {
+		store, err := rescache.Open(*ckptDir)
+		if err != nil {
+			fatal(err)
+		}
+		env.Results = store
+	}
 	if *format == "table" {
 		fmt.Printf("preset %s: SF=%.4f memScale=%d — %d lineitems, %d orders (%.1f MB raw)\n\n",
 			p.Name, p.SF, p.MemScale, len(env.Data.Lineitem), len(env.Data.Orders),
@@ -134,11 +149,18 @@ func main() {
 	}
 	timed := func(run func() (*dssmem.FigureResult, error)) *dssmem.FigureResult {
 		begin := time.Now()
+		runs0, restored0, warm0, meas0 := tally.Snapshot()
 		r, err := run()
 		if err != nil {
 			fatal(err)
 		}
-		doc.add(r, time.Since(begin))
+		runs1, restored1, warm1, meas1 := tally.Snapshot()
+		doc.add(r, time.Since(begin), runSplit{
+			Runs:       runs1 - runs0,
+			Restored:   restored1 - restored0,
+			WarmupMS:   float64((warm1-warm0)/1000 /*ns→µs*/) / 1e3,
+			MeasuredMS: float64((meas1-meas0)/1000) / 1e3,
+		})
 		return r
 	}
 	for _, id := range figs {
@@ -186,18 +208,37 @@ type benchDoc struct {
 }
 
 type benchEntry struct {
-	ID            string               `json:"id"`
-	WallMS        float64              `json:"wall_ms"`
-	SimSecondsMax float64              `json:"sim_seconds_max,omitempty"`
-	Result        *dssmem.FigureResult `json:"result"`
+	ID            string  `json:"id"`
+	WallMS        float64 `json:"wall_ms"`
+	SimSecondsMax float64 `json:"sim_seconds_max,omitempty"`
+	// The per-run host-time split: simulations executed for this entry (cache
+	// hits excluded — nothing ran), how many restored their warmup prelude
+	// from a warm-state checkpoint, and where the host wall-clock went.
+	Runs       int                  `json:"runs"`
+	Restored   int                  `json:"restored"`
+	WarmupMS   float64              `json:"warmup_ms"`
+	MeasuredMS float64              `json:"measured_ms"`
+	Result     *dssmem.FigureResult `json:"result"`
+}
+
+// runSplit is the tally delta attributed to one figure/ablation entry.
+type runSplit struct {
+	Runs       int
+	Restored   int
+	WarmupMS   float64
+	MeasuredMS float64
 }
 
 // add records a completed figure or ablation with its timing.
-func (d *benchDoc) add(r *dssmem.FigureResult, wall time.Duration) {
+func (d *benchDoc) add(r *dssmem.FigureResult, wall time.Duration, split runSplit) {
 	e := benchEntry{
-		ID:     r.ID,
-		WallMS: float64(wall.Microseconds()) / 1e3,
-		Result: r,
+		ID:         r.ID,
+		WallMS:     float64(wall.Microseconds()) / 1e3,
+		Runs:       split.Runs,
+		Restored:   split.Restored,
+		WarmupMS:   split.WarmupMS,
+		MeasuredMS: split.MeasuredMS,
+		Result:     r,
 	}
 	for _, s := range r.Series {
 		for _, p := range s.Points {

@@ -1,0 +1,367 @@
+// Package ckpt serializes warm-state checkpoints: the deterministic state a
+// run holds at the measured-region boundary (generated TPC-H data plus the
+// loaded database image), so figure runs restore the warmup prelude instead
+// of rebuilding it. Snapshots are stored content-addressed in
+// internal/rescache under their own namespace; this package owns the key
+// derivation and the versioned, byte-deterministic encoding.
+//
+// The format is a fixed header (magic, version) over a DEFLATE-compressed
+// little-endian body. Encoding the same snapshot always yields the same
+// bytes; Decode never panics on arbitrary input (FuzzDecode) and bounds every
+// allocation by the bytes actually present, so a truncated or hostile frame
+// fails fast instead of ballooning memory.
+package ckpt
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"dssmem/internal/db/engine"
+	"dssmem/internal/db/storage"
+	"dssmem/internal/tpch"
+)
+
+// magic identifies a snapshot stream; the trailing digit is the format
+// generation (bump with snapshotVersion on incompatible changes).
+const magic = "dssmemW1"
+
+// snapshotVersion versions the body layout.
+const snapshotVersion = 1
+
+// keySchema versions the key derivation; bump when the warm state's identity
+// inputs change so stale snapshots miss instead of restoring a different
+// prelude.
+const keySchema = 1
+
+// maxString bounds decoded string lengths (names are short identifiers).
+const maxString = 1 << 16
+
+// maxBody bounds the decompressed body size (1 GiB), so a crafted
+// decompression bomb fails with an error instead of exhausting memory. The
+// largest preset's snapshot is orders of magnitude below this.
+const maxBody = 1 << 30
+
+// Key identifies one warm state: the dataset generator inputs plus the two
+// knobs that shape the shared-memory image. Everything else about a run —
+// machine spec, OS config, query, process count, trial — does not influence
+// the warmup prelude (the load runs through storage.NullMem, before the
+// machine model exists), so it is deliberately excluded: one snapshot serves
+// both machines and every measured-region configuration.
+type Key struct {
+	Schema         int     `json:"schema"`
+	SF             float64 `json:"sf"`
+	Seed           uint64  `json:"seed"`
+	PoolPages      int     `json:"pool_pages"`
+	BufHeaderBytes int     `json:"buf_header_bytes"`
+}
+
+// KeyFor derives the warm-state key for a dataset and a buffer-header stride
+// (0 means the engine default, normalized here so equivalent runs share a
+// snapshot).
+func KeyFor(sf float64, seed uint64, data *tpch.Data, bufHeaderBytes int) Key {
+	if bufHeaderBytes <= 0 {
+		bufHeaderBytes = engine.DefaultBufHeaderBytes
+	}
+	return Key{
+		Schema:         keySchema,
+		SF:             sf,
+		Seed:           seed,
+		PoolPages:      tpch.PoolPagesFor(data),
+		BufHeaderBytes: bufHeaderBytes,
+	}
+}
+
+// Digest returns the key's content address (hex SHA-256 of the canonical
+// JSON, same shape rescache digests take).
+func (k Key) Digest() string {
+	b, err := json.Marshal(k)
+	if err != nil {
+		// Plain numbers; cannot fail short of memory corruption.
+		panic(fmt.Sprintf("ckpt: key digest: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Snapshot is one warm state: the generated data (needed for answer
+// validation and reference digests) and the loaded database image.
+type Snapshot struct {
+	Data  *tpch.Data
+	Image *engine.Image
+}
+
+// Encode serializes the snapshot deterministically.
+func (s *Snapshot) Encode() []byte {
+	var out bytes.Buffer
+	out.WriteString(magic)
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], snapshotVersion)
+	out.Write(hdr[:])
+	// BestSpeed keeps capture cheap; pool pages of fixed-width tuples
+	// compress well at any level, which matters for the fleet's 8 MB
+	// peer-fill body cap.
+	zw, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		panic(fmt.Sprintf("ckpt: flate: %v", err)) // invalid level only
+	}
+	w := &writer{w: bufio.NewWriter(zw)}
+	s.encodeBody(w)
+	if err := w.w.Flush(); err != nil {
+		panic(fmt.Sprintf("ckpt: encode: %v", err)) // bytes.Buffer cannot fail
+	}
+	if err := zw.Close(); err != nil {
+		panic(fmt.Sprintf("ckpt: encode: %v", err))
+	}
+	return out.Bytes()
+}
+
+func (s *Snapshot) encodeBody(w *writer) {
+	d := s.Data
+	w.u64(math.Float64bits(d.SF))
+	w.u32(uint32(len(d.Lineitem)))
+	for i := range d.Lineitem {
+		l := &d.Lineitem[i]
+		w.u64(uint64(l.OrderKey))
+		w.u64(uint64(l.SuppKey))
+		w.u64(uint64(l.Quantity))
+		w.u64(uint64(l.ExtendedPrice))
+		w.u64(uint64(l.Discount))
+		w.u32(uint32(l.ShipDate))
+		w.u32(uint32(l.CommitDate))
+		w.u32(uint32(l.ReceiptDate))
+		w.u32(uint32(l.ShipMode))
+		w.u32(uint32(l.LineNumber))
+	}
+	w.u32(uint32(len(d.Orders)))
+	for i := range d.Orders {
+		o := &d.Orders[i]
+		w.u64(uint64(o.OrderKey))
+		w.u32(uint32(o.OrderStatus))
+		w.u32(uint32(o.OrderDate))
+		w.u32(uint32(o.Priority))
+	}
+	w.u32(uint32(len(d.Suppliers)))
+	for i := range d.Suppliers {
+		s := &d.Suppliers[i]
+		w.u64(uint64(s.SuppKey))
+		w.u32(uint32(s.NationKey))
+	}
+	w.u32(uint32(len(d.Nations)))
+	for _, n := range d.Nations {
+		w.u32(uint32(n))
+	}
+
+	img := s.Image
+	w.u32(uint32(img.PoolPages))
+	w.u32(uint32(img.BufHeaderBytes))
+	w.u64(img.SharedBytes)
+	w.u32(uint32(len(img.Kinds)))
+	for _, k := range img.Kinds {
+		w.w.WriteByte(byte(k))
+	}
+	w.w.Write(img.PoolData)
+	w.u32(uint32(len(img.Rels)))
+	for _, r := range img.Rels {
+		w.str(r.Name)
+		w.u32(uint32(len(r.Cols)))
+		for _, c := range r.Cols {
+			w.str(c.Name)
+			w.w.WriteByte(byte(c.Width))
+		}
+		w.u32(uint32(len(r.Pages)))
+		for _, pg := range r.Pages {
+			w.u32(uint32(pg))
+		}
+		w.u32(uint32(r.Count))
+		w.u32(uint32(len(r.Indexes)))
+		for _, ix := range r.Indexes {
+			w.str(ix.Name)
+			w.u32(uint32(ix.Root))
+			w.u32(uint32(ix.Size))
+		}
+	}
+}
+
+// Decode parses a snapshot. It returns an error — never panics — on
+// truncated, corrupt or hostile input, and its allocations grow only with
+// bytes actually present in the stream (a count field cannot force a large
+// allocation on its own).
+func Decode(b []byte) (*Snapshot, error) {
+	if len(b) < len(magic)+2 {
+		return nil, fmt.Errorf("ckpt: snapshot too short (%d bytes)", len(b))
+	}
+	if string(b[:len(magic)]) != magic {
+		return nil, fmt.Errorf("ckpt: bad magic")
+	}
+	if v := binary.LittleEndian.Uint16(b[len(magic):]); v != snapshotVersion {
+		return nil, fmt.Errorf("ckpt: snapshot version %d (want %d)", v, snapshotVersion)
+	}
+	zr := flate.NewReader(bytes.NewReader(b[len(magic)+2:]))
+	r := &reader{r: bufio.NewReader(&io.LimitedReader{R: zr, N: maxBody})}
+	s, err := decodeBody(r)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("ckpt: trailing bytes after snapshot body")
+	}
+	return s, nil
+}
+
+func decodeBody(r *reader) (*Snapshot, error) {
+	d := &tpch.Data{SF: math.Float64frombits(r.u64())}
+	for n := r.u32(); n > 0 && r.err == nil; n-- {
+		d.Lineitem = append(d.Lineitem, tpch.LineItem{
+			OrderKey:      int64(r.u64()),
+			SuppKey:       int64(r.u64()),
+			Quantity:      int64(r.u64()),
+			ExtendedPrice: int64(r.u64()),
+			Discount:      int64(r.u64()),
+			ShipDate:      int32(r.u32()),
+			CommitDate:    int32(r.u32()),
+			ReceiptDate:   int32(r.u32()),
+			ShipMode:      int32(r.u32()),
+			LineNumber:    int32(r.u32()),
+		})
+	}
+	for n := r.u32(); n > 0 && r.err == nil; n-- {
+		d.Orders = append(d.Orders, tpch.Order{
+			OrderKey:    int64(r.u64()),
+			OrderStatus: int32(r.u32()),
+			OrderDate:   int32(r.u32()),
+			Priority:    int32(r.u32()),
+		})
+	}
+	for n := r.u32(); n > 0 && r.err == nil; n-- {
+		d.Suppliers = append(d.Suppliers, tpch.Supplier{
+			SuppKey:   int64(r.u64()),
+			NationKey: int32(r.u32()),
+		})
+	}
+	for n := r.u32(); n > 0 && r.err == nil; n-- {
+		d.Nations = append(d.Nations, int32(r.u32()))
+	}
+
+	img := &engine.Image{
+		PoolPages:      int(int32(r.u32())),
+		BufHeaderBytes: int(int32(r.u32())),
+		SharedBytes:    r.u64(),
+	}
+	for n := r.u32(); n > 0 && r.err == nil; n-- {
+		img.Kinds = append(img.Kinds, storage.PageKind(r.byte()))
+	}
+	// Pool bytes: size is implied by the kinds count, but the allocation is
+	// fed by io.CopyN from the stream, so a lying count hits EOF after the
+	// bytes that exist instead of reserving the claimed size up front.
+	want := int64(len(img.Kinds)) * storage.PageSize
+	if r.err == nil && want > 0 {
+		var pool bytes.Buffer
+		got, err := io.CopyN(&pool, r.r, want)
+		if err != nil || got != want {
+			return nil, fmt.Errorf("ckpt: truncated pool image (%d of %d bytes)", got, want)
+		}
+		img.PoolData = pool.Bytes()
+	}
+	for n := r.u32(); n > 0 && r.err == nil; n-- {
+		rel := engine.RelImage{Name: r.str()}
+		for c := r.u32(); c > 0 && r.err == nil; c-- {
+			rel.Cols = append(rel.Cols, storage.Column{Name: r.str(), Width: int(r.byte())})
+		}
+		for p := r.u32(); p > 0 && r.err == nil; p-- {
+			rel.Pages = append(rel.Pages, int(int32(r.u32())))
+		}
+		rel.Count = int(int32(r.u32()))
+		for i := r.u32(); i > 0 && r.err == nil; i-- {
+			rel.Indexes = append(rel.Indexes, engine.IndexImage{
+				Name: r.str(),
+				Root: int(int32(r.u32())),
+				Size: int(int32(r.u32())),
+			})
+		}
+		img.Rels = append(img.Rels, rel)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("ckpt: truncated snapshot: %w", r.err)
+	}
+	return &Snapshot{Data: d, Image: img}, nil
+}
+
+// writer emits little-endian primitives to a buffered stream. The underlying
+// bytes.Buffer cannot fail, so errors are not threaded.
+type writer struct{ w *bufio.Writer }
+
+func (w *writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.w.Write(b[:])
+}
+
+func (w *writer) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.w.Write(b[:])
+}
+
+func (w *writer) str(s string) {
+	if len(s) > maxString {
+		s = s[:maxString] // names are short identifiers; never hit in practice
+	}
+	w.u32(uint32(len(s)))
+	w.w.WriteString(s)
+}
+
+// reader consumes little-endian primitives, latching the first error: after
+// it every read returns zero values, so decode loops terminate.
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) read(b []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.err = err
+	}
+}
+
+func (r *reader) byte() byte {
+	var b [1]byte
+	r.read(b[:])
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	var b [4]byte
+	r.read(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *reader) u64() uint64 {
+	var b [8]byte
+	r.read(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxString {
+		r.err = fmt.Errorf("string length %d exceeds limit %d", n, maxString)
+		return ""
+	}
+	b := make([]byte, n)
+	r.read(b)
+	return string(b)
+}

@@ -19,6 +19,7 @@ import (
 	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -299,4 +300,49 @@ func parseRetryAfter(v string) time.Duration {
 		}
 	}
 	return 0
+}
+
+// MeasureOpt carries the optional knobs of a /v1/measure request. The zero
+// value is a plain warm, exact measurement.
+type MeasureOpt struct {
+	// Trial disambiguates repeated runs of one configuration (the paper
+	// averaged four).
+	Trial int
+	// Cold measures trial 1 of the paper's protocol: cold buffer pool, every
+	// first touch paying a simulated disk read.
+	Cold bool
+	// SampleQuanta > 1 requests SMARTS interval sampling at that period; the
+	// server returns an estimated measurement cached under its own digest.
+	SampleQuanta int
+	// Checkpoint asks the daemon to restore the warmup prelude from a
+	// warm-state checkpoint (capturing one if needed). Response bytes are
+	// identical either way; only server-side latency changes.
+	Checkpoint bool
+}
+
+// MeasurePath renders the /v1/measure request path for a configuration —
+// one definition of the parameter names shared by every caller.
+func MeasurePath(machineName, query string, procs int, o MeasureOpt) string {
+	v := url.Values{}
+	v.Set("machine", machineName)
+	v.Set("query", query)
+	v.Set("procs", strconv.Itoa(procs))
+	if o.Trial != 0 {
+		v.Set("trial", strconv.Itoa(o.Trial))
+	}
+	if o.Cold {
+		v.Set("cold", "1")
+	}
+	if o.SampleQuanta > 1 {
+		v.Set("sample_quanta", strconv.Itoa(o.SampleQuanta))
+	}
+	if o.Checkpoint {
+		v.Set("ckpt", "1")
+	}
+	return "/v1/measure?" + v.Encode()
+}
+
+// Measure requests one measurement with the client's retry discipline.
+func (c *Client) Measure(ctx context.Context, machineName, query string, procs int, o MeasureOpt) (*Response, error) {
+	return c.Get(ctx, MeasurePath(machineName, query, procs, o))
 }

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestSamplingAccuracyGate is the CI accuracy gate: sampled figure metrics
+// must stay within tolerance of exact simulation. The nightly job tightens
+// both knobs via environment (ACCURACY_QUANTA, ACCURACY_TOL); everything is
+// deterministic, so a failure is a real estimator regression, not noise.
+func TestSamplingAccuracyGate(t *testing.T) {
+	quanta := DefaultSamplingQuanta
+	if s := os.Getenv("ACCURACY_QUANTA"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("ACCURACY_QUANTA=%q: %v", s, err)
+		}
+		quanta = v
+	}
+	tol := DefaultSamplingTolerance
+	if s := os.Getenv("ACCURACY_TOL"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("ACCURACY_TOL=%q: %v", s, err)
+		}
+		tol = v
+	}
+
+	e := NewEnv(Tiny)
+	points, err := SamplingAccuracy(e, quanta, tol)
+	for _, p := range points {
+		t.Logf("%-20s exact %10.2f  sampled %10.2f  rel err %6.2f%%  (P=%d, tol %.0f%%)",
+			p.Name, p.Exact, p.Sampled, p.RelErr*100, quanta, tol*100)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}

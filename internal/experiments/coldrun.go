@@ -23,13 +23,19 @@ func ColdRun(e *Env) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		coldStats, err := workload.Run(workload.Options{
-			Spec: spec, Data: e.Data, Query: q, Processes: 1,
-			OSTimeScale: e.Preset.MemScale, ColdRun: true,
-		})
+		// The cold run goes through the same option canonicalization and
+		// runner as every cached measurement — one definition of the warmup
+		// prelude (workload's buildDB) serves warm runs, cold runs and
+		// checkpoint capture, so the variants cannot drift apart. ColdRun
+		// itself stays uncached here only because this ablation wants the
+		// raw per-process stats, not the reduced measurement.
+		coldOpts := e.CanonicalOptions(q, 1, workload.Options{Spec: spec, ColdRun: true})
+		coldOpts.Data = e.Data
+		coldStats, err := e.runner()(e.ctx(), coldOpts)
 		if err != nil {
 			return nil, err
 		}
+		e.Tally.add(coldStats)
 		cold := coldStats.Procs[0]
 		r.Rows = append(r.Rows,
 			[]string{q.String(), "cold (trial 1)",

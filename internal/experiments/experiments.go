@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"dssmem/internal/core"
+	"dssmem/internal/db/engine"
 	"dssmem/internal/machine"
 	"dssmem/internal/rescache"
 	"dssmem/internal/tpch"
@@ -96,14 +97,37 @@ type Env struct {
 	// ParallelWindow is the default bound window in cycles (0 = quantum).
 	ParallelWindow uint64
 
+	// Checkpoints enables warm-state restore: before a (non-cold)
+	// measurement simulates, the env attaches the dataset's warm-state image
+	// — captured once, cached in Results under rescache.NSWarm, and memoized
+	// decoded — so the run skips the warmup prelude. Restored runs are
+	// byte-identical to cold-started ones, so checkpoints never change
+	// content digests; any checkpoint failure silently falls back to a full
+	// rebuild.
+	Checkpoints bool
+
+	// SampleQuanta, when > 1, applies SMARTS interval sampling (see
+	// workload.Options.SampleQuanta) to every measurement that does not set
+	// it explicitly. Sampled measurements carry their own content digests:
+	// estimates never collide with exact results.
+	SampleQuanta int
+
+	// Tally, when non-nil, accumulates host-side run accounting (runs,
+	// restores, warmup vs measured wall time) across this env's
+	// measurements. Cache hits do not tally: nothing ran.
+	Tally *RunTally
+
+	initMu sync.Mutex // guards lazy Results init
+
+	warmMu   sync.Mutex                        // guards warmImgs
+	warmImgs map[rescache.Digest]*engine.Image // decoded warm images by ckpt key digest
+
 	// OnPoint, when non-nil, is called after each sweep point completes,
 	// with the point's index, process count, content digest, and whether it
 	// was a cache hit. The daemon uses it to journal sweep progress so a
 	// killed process resumes without recomputing completed points. Called
 	// concurrently from sweep goroutines.
 	OnPoint func(idx, procs int, dig rescache.Digest, hit bool)
-
-	initMu sync.Mutex // guards lazy Results init
 }
 
 // NewEnv generates the preset's database once and returns the environment.
@@ -173,13 +197,29 @@ func (e *Env) CanonicalOptions(q tpch.QueryID, procs int, opts workload.Options)
 	opts.Data = nil
 	opts.Obs = nil
 	opts.SimFault = nil
+	// Warm state is not identity: a restored run is byte-identical to a
+	// cold-started one, so the same digest serves both.
+	opts.Warm = nil
 	opts.Query = q
 	opts.Processes = procs
 	opts.Validate = true
 	if opts.OSTimeScale == 0 {
 		opts.OSTimeScale = e.Preset.MemScale
 	}
-	if e.Parallel && !opts.Parallel {
+	if opts.SampleQuanta == 0 {
+		opts.SampleQuanta = e.SampleQuanta
+	}
+	if opts.SampleQuanta == 1 {
+		// A period of 1 cannot sample (the controller clamps to 2, fully
+		// detailed); normalize to exact so the digest matches the behavior.
+		opts.SampleQuanta = 0
+	}
+	if opts.SampleQuanta > 1 {
+		// Sampled runs execute serially (the controller is not weave-aware);
+		// keep the digest honest about it.
+		opts.Parallel = false
+		opts.ParallelWindow = 0
+	} else if e.Parallel && !opts.Parallel {
 		opts.Parallel = true
 		opts.ParallelWindow = e.ParallelWindow
 	}
@@ -195,10 +235,18 @@ func (e *Env) MeasureCached(tag string, q tpch.QueryID, procs int, opts workload
 	raw, hit, err := e.results().Do(e.ctx(), rescache.NSMeasurement, dig, func(runCtx context.Context) ([]byte, error) {
 		o := opts
 		o.Data = e.Data
+		if e.Checkpoints && !o.ColdRun {
+			// Best effort: a missing or failed checkpoint means a normal
+			// full rebuild, never a failed measurement.
+			if img, err := e.warmImage(runCtx, o.BufHeaderBytes); err == nil {
+				o.Warm = img
+			}
+		}
 		st, err := e.runner()(runCtx, o)
 		if err != nil {
 			return nil, err
 		}
+		e.Tally.add(st)
 		return json.Marshal(core.FromStats(st))
 	})
 	if err != nil {

@@ -72,6 +72,13 @@ type Request struct {
 	// digest byte-stable with pre-parallel caches.
 	Parallel       bool   `json:"parallel,omitempty"`
 	ParallelWindow uint64 `json:"parallel_window,omitempty"`
+	// SampleQuanta > 1 selects SMARTS interval sampling: counters are
+	// estimates, so sampled results must never share an address with exact
+	// ones. omitempty keeps every exact request's digest byte-stable with
+	// pre-sampling caches. Options.Warm is deliberately excluded: a restored
+	// run is byte-identical to a cold-started one, so warm state is not
+	// identity.
+	SampleQuanta int `json:"sample_quanta,omitempty"`
 }
 
 // CanonicalRequest builds the Request for opts run over the dataset generated
@@ -95,6 +102,7 @@ func CanonicalRequest(sf float64, seed uint64, opts workload.Options) Request {
 		ColdRun:         opts.ColdRun,
 		Parallel:        opts.Parallel,
 		ParallelWindow:  opts.ParallelWindow,
+		SampleQuanta:    opts.SampleQuanta,
 	}
 	for _, q := range opts.Mix {
 		r.Mix = append(r.Mix, CanonicalString(q.String()))

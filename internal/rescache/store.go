@@ -22,6 +22,12 @@ const (
 	NSMeasurement = "measurement"
 	NSFigure      = "figure"
 	NSSweep       = "sweep"
+	// NSWarm holds warm-state checkpoints (internal/ckpt snapshots): the
+	// database image at the measured-region boundary, keyed by the ckpt.Key
+	// digest. Entries are large relative to result JSON but one snapshot
+	// serves every machine spec, query, process count and trial at its
+	// (SF, seed, layout) identity.
+	NSWarm = "warmstate"
 )
 
 // quarantineDir holds entries that failed read verification, preserved for

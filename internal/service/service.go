@@ -90,6 +90,17 @@ type Config struct {
 	// panic/hang, scheduler stalls) for chaos testing. Disk sites are wired
 	// separately, via Store over a fault.FS.
 	Faults *fault.Injector
+	// Checkpoints enables warm-state restore for every measurement this
+	// daemon computes: the warmup prelude is captured once per dataset
+	// identity, cached under rescache.NSWarm (shared with fleet peers), and
+	// restored instead of rebuilt. Results are byte-identical either way, so
+	// this changes no digests — it only removes redundant warmup work.
+	Checkpoints bool
+	// SampleQuanta, when > 1, is the daemon-wide default SMARTS sampling
+	// period: requests that do not pass sample_quanta themselves run with
+	// interval sampling at this period. Sampled results live under their own
+	// content digests; 0 (or 1) keeps every run exact.
+	SampleQuanta int
 	// Log receives one structured line per API request (id, endpoint, status,
 	// per-phase timings). nil disables request logging.
 	Log *slog.Logger
@@ -359,10 +370,33 @@ func (s *Server) env(ctx context.Context) *experiments.Env {
 	e.Results = s.store
 	e.Ctx = ctx
 	e.Runner = s.gatedRun
+	e.Checkpoints = s.cfg.Checkpoints
 	if s.cfg.EnvParallelism > 0 {
 		e.Parallelism = s.cfg.EnvParallelism
 	}
 	return e
+}
+
+// sampleQuanta resolves a request's effective sampling period: the
+// sample_quanta query parameter when present, else the daemon default. The
+// caller folds a non-zero result into the request's content digest (sampled
+// results must never collide with exact ones).
+func (s *Server) sampleQuanta(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("sample_quanta")
+	if v == "" {
+		if s.cfg.SampleQuanta > 1 {
+			return s.cfg.SampleQuanta, nil
+		}
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad sample_quanta %q", v)
+	}
+	if n <= 1 {
+		return 0, nil // exact; 1 cannot sample (the controller clamps to 2)
+	}
+	return n, nil
 }
 
 // gatedRun is the run lifecycle: admission control (bounded wait queue with
@@ -546,13 +580,22 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad trial %q", r.URL.Query().Get("trial")))
 		return
 	}
+	sq, err := s.sampleQuanta(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
 	opts := workload.Options{
-		Spec:    spec,
-		Trial:   trial,
-		ColdRun: boolParam(r, "cold"),
+		Spec:         spec,
+		Trial:        trial,
+		ColdRun:      boolParam(r, "cold"),
+		SampleQuanta: sq,
 	}
 
 	env := s.env(ctx)
+	if boolParam(r, "ckpt") {
+		env.Checkpoints = true
+	}
 	m, hit, err := env.MeasureCached(spec.Name, q, procs, opts)
 	if err != nil {
 		s.failRun(w, err)
@@ -575,13 +618,20 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad figure id %q", r.PathValue("id")))
 		return
 	}
-	dig, err := FigureDigest(s.cfg.Preset, id)
+	sq, err := s.sampleQuanta(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	dig, err := FigureDigestSampled(s.cfg.Preset, id, sq)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
 	raw, hit, err := s.store.Do(ctx, rescache.NSFigure, dig, func(runCtx context.Context) ([]byte, error) {
-		res, err := experiments.RunFigure(s.env(runCtx), id, nil)
+		env := s.env(runCtx)
+		env.SampleQuanta = sq
+		res, err := experiments.RunFigure(env, id, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -612,7 +662,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	dig, err := SweepDigest(s.cfg.Preset, spec, q)
+	sq, err := s.sampleQuanta(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	dig, err := SweepDigestSampled(s.cfg.Preset, spec, q, sq)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
@@ -624,7 +679,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if jerr == nil {
 		w.Header().Set("X-Job-ID", string(dig))
 	}
-	raw, hit, err := s.runSweep(ctx, spec, q, dig, j)
+	raw, hit, err := s.runSweep(ctx, spec, q, sq, dig, j)
 	if err != nil {
 		if j != nil {
 			j.Fail(err)
@@ -640,9 +695,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 // runSweep computes (or recalls) one sweep, journaling each completed point
 // on j. Shared by the live handler and the restart resume path.
-func (s *Server) runSweep(ctx context.Context, spec machine.Spec, q tpch.QueryID, dig rescache.Digest, j *job.Job) ([]byte, bool, error) {
+func (s *Server) runSweep(ctx context.Context, spec machine.Spec, q tpch.QueryID, sq int, dig rescache.Digest, j *job.Job) ([]byte, bool, error) {
 	return s.store.Do(ctx, rescache.NSSweep, dig, func(runCtx context.Context) ([]byte, error) {
 		env := s.env(runCtx)
+		env.SampleQuanta = sq
 		if j != nil {
 			env.OnPoint = func(idx, procs int, pdig rescache.Digest, hit bool) {
 				j.Point(idx, string(pdig))
@@ -696,7 +752,20 @@ func (s *Server) resumeJob(j *job.Job) {
 		j.Fail(fmt.Errorf("service: resume job %s: %w", j.ID(), err))
 		return
 	}
-	dig, err := SweepDigest(s.cfg.Preset, spec, q)
+	sq := 0
+	if v := qp.Get("sample_quanta"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			j.Fail(fmt.Errorf("service: resume job %s: bad sample_quanta %q", j.ID(), v))
+			return
+		}
+		if n > 1 {
+			sq = n
+		}
+	} else if s.cfg.SampleQuanta > 1 {
+		sq = s.cfg.SampleQuanta
+	}
+	dig, err := SweepDigestSampled(s.cfg.Preset, spec, q, sq)
 	if err != nil || string(dig) != j.ID() {
 		if err == nil {
 			err = fmt.Errorf("service: resume: job %s path resolves to digest %s (preset or version skew)", j.ID(), dig.Short())
@@ -704,7 +773,7 @@ func (s *Server) resumeJob(j *job.Job) {
 		j.Fail(err)
 		return
 	}
-	if _, _, err := s.runSweep(s.base, spec, q, dig, j); err != nil {
+	if _, _, err := s.runSweep(s.base, spec, q, sq, dig, j); err != nil {
 		j.Fail(fmt.Errorf("service: resume: %w", err))
 		return
 	}
@@ -753,7 +822,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCacheEntry(w http.ResponseWriter, r *http.Request) {
 	ns := r.PathValue("ns")
 	switch ns {
-	case rescache.NSMeasurement, rescache.NSFigure, rescache.NSSweep:
+	case rescache.NSMeasurement, rescache.NSFigure, rescache.NSSweep, rescache.NSWarm:
 	default:
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown cache namespace %q", ns))
 		return
@@ -790,7 +859,7 @@ func (s *Server) handleCacheEntry(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
 	ns := r.PathValue("ns")
 	switch ns {
-	case rescache.NSMeasurement, rescache.NSFigure, rescache.NSSweep:
+	case rescache.NSMeasurement, rescache.NSFigure, rescache.NSSweep, rescache.NSWarm:
 	default:
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown cache namespace %q", ns))
 		return
@@ -822,7 +891,7 @@ func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCacheList(w http.ResponseWriter, r *http.Request) {
 	ns := r.PathValue("ns")
 	switch ns {
-	case rescache.NSMeasurement, rescache.NSFigure, rescache.NSSweep:
+	case rescache.NSMeasurement, rescache.NSFigure, rescache.NSSweep, rescache.NSWarm:
 	default:
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown cache namespace %q", ns))
 		return
@@ -861,26 +930,42 @@ func validDigest(s string) bool {
 // Exported so the fleet coordinator computes the identical address its
 // workers will answer under.
 func FigureDigest(p experiments.Preset, id int) (rescache.Digest, error) {
+	return FigureDigestSampled(p, id, 0)
+}
+
+// FigureDigestSampled is FigureDigest for a figure computed with SMARTS
+// interval sampling at the given period. sampleQuanta 0 encodes to exactly
+// the pre-sampling digest (omitempty), so existing exact caches stay valid;
+// any other period addresses its own estimated result.
+func FigureDigestSampled(p experiments.Preset, id, sampleQuanta int) (rescache.Digest, error) {
 	return rescache.DigestJSON(struct {
-		Schema int                `json:"schema"`
-		Kind   string             `json:"kind"`
-		Preset experiments.Preset `json:"preset"`
-		Figure int                `json:"figure"`
-		Procs  []int              `json:"procs"`
-	}{1, "figure", p, id, experiments.ProcCounts})
+		Schema       int                `json:"schema"`
+		Kind         string             `json:"kind"`
+		Preset       experiments.Preset `json:"preset"`
+		Figure       int                `json:"figure"`
+		Procs        []int              `json:"procs"`
+		SampleQuanta int                `json:"sample_quanta,omitempty"`
+	}{1, "figure", p, id, experiments.ProcCounts, sampleQuanta})
 }
 
 // SweepDigest is the content address of one sweep result under preset p
 // (see FigureDigest).
 func SweepDigest(p experiments.Preset, spec machine.Spec, q tpch.QueryID) (rescache.Digest, error) {
+	return SweepDigestSampled(p, spec, q, 0)
+}
+
+// SweepDigestSampled is SweepDigest under interval sampling (see
+// FigureDigestSampled for the compatibility contract).
+func SweepDigestSampled(p experiments.Preset, spec machine.Spec, q tpch.QueryID, sampleQuanta int) (rescache.Digest, error) {
 	return rescache.DigestJSON(struct {
-		Schema  int                `json:"schema"`
-		Kind    string             `json:"kind"`
-		Preset  experiments.Preset `json:"preset"`
-		Machine machine.Spec       `json:"machine"`
-		Query   string             `json:"query"`
-		Procs   []int              `json:"procs"`
-	}{1, "sweep", p, spec, q.String(), experiments.ProcCounts})
+		Schema       int                `json:"schema"`
+		Kind         string             `json:"kind"`
+		Preset       experiments.Preset `json:"preset"`
+		Machine      machine.Spec       `json:"machine"`
+		Query        string             `json:"query"`
+		Procs        []int              `json:"procs"`
+		SampleQuanta int                `json:"sample_quanta,omitempty"`
+	}{1, "sweep", p, spec, q.String(), experiments.ProcCounts, sampleQuanta})
 }
 
 // MeasureDigest is the content address of one measurement under preset p:

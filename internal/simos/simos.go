@@ -72,11 +72,12 @@ func DefaultConfigScaled(clockMHz, timeScale int) Config {
 
 // OS ties a machine to the simulation kernel and runs processes on it.
 type OS struct {
-	cfg    Config
-	mach   *machine.Machine
-	kernel *sim.Kernel
-	procs  []*Process
-	obs    *obs.Observer
+	cfg      Config
+	mach     *machine.Machine
+	kernel   *sim.Kernel
+	procs    []*Process
+	obs      *obs.Observer
+	sampling *obs.SamplingController
 }
 
 // New builds an OS over a machine. quantum is the simulation-kernel
@@ -125,6 +126,11 @@ func (o *OS) Run() error { return o.kernel.Run() }
 // It is the one OS method that may be called from outside the simulation
 // (any goroutine, any time); see sim.Kernel.Interrupt.
 func (o *OS) Interrupt(cause error) { o.kernel.Interrupt(cause) }
+
+// SetSampling installs a SMARTS interval-sampling controller, consulted on
+// every memory access: fast-forwarded accesses skip the machine model and
+// charge the controller's estimate instead. Must be called before Run.
+func (o *OS) SetSampling(c *obs.SamplingController) { o.sampling = c }
 
 // SetFaultHook installs a scheduler-level fault-injection hook, invoked at
 // every quantum boundary; see sim.Kernel.FaultHook. Must be called before
@@ -218,14 +224,30 @@ func (p *Process) Load(addr memsys.Addr, size int) { p.access(addr, size, false)
 func (p *Process) Store(addr memsys.Addr, size int) { p.access(addr, size, true) }
 
 func (p *Process) access(addr memsys.Addr, size int, write bool) {
+	sc := p.os.sampling
+	if sc != nil {
+		if cyc, ff := sc.Access(p.CPU, p.Counters(), write, p.Now()); ff {
+			// Fast-forwarded: functional counters are bumped, timing is the
+			// controller's estimate, and the cache/directory walk (and the
+			// region tally, which attributes detailed misses) is skipped.
+			p.onCPU(cyc)
+			return
+		}
+	}
 	if p.Classifier == nil {
 		cyc := p.os.mach.Access(p.CPU, addr, size, write, p.Now())
+		if sc != nil {
+			sc.Detailed(p.CPU, cyc)
+		}
 		p.onCPU(cyc)
 		return
 	}
 	ct := p.Counters()
 	l1, l2 := ct.L1DMisses, ct.L2DMisses
 	cyc := p.os.mach.Access(p.CPU, addr, size, write, p.Now())
+	if sc != nil {
+		sc.Detailed(p.CPU, cyc)
+	}
 	region := p.Classifier(addr)
 	p.Regions.Accesses[region]++
 	p.Regions.L1Misses[region] += ct.L1DMisses - l1

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"dssmem/internal/coherence"
 	"dssmem/internal/db/engine"
@@ -80,6 +81,25 @@ type Options struct {
 	// identity — it is excluded from the cache digest and cleared by
 	// experiments.Env.CanonicalOptions.
 	SimFault func()
+	// Warm, when non-nil, restores the database from a previously captured
+	// warm-state image (CaptureWarm) instead of re-running the load prelude.
+	// A restored run is byte-identical to a rebuilt one — the prelude never
+	// touches the machine model, so the image plus a fresh machine is the
+	// complete state at the measured-region boundary — which is why Warm
+	// carries no run identity: it is excluded from the cache digest and
+	// cleared by experiments.Env.CanonicalOptions. A mismatched or stale
+	// image silently falls back to a full rebuild; ColdRun ignores Warm
+	// (the cold pool's first-touch I/O is the experiment).
+	Warm *engine.Image
+	// SampleQuanta enables SMARTS-style interval sampling with the given
+	// period in scheduling quanta: of every SampleQuanta quanta per CPU, the
+	// first is simulated in detail and measured, the last is simulated in
+	// detail as functional warming, and the rest fast-forward with estimated
+	// timing (see obs.SamplingController). 0 or 1 means exact simulation.
+	// Sampled counters are estimates, so SampleQuanta is part of the result
+	// identity (rescache digests sampled and exact runs differently), and
+	// sampled runs execute serially like observed ones.
+	SampleQuanta int
 }
 
 // ProcStats is one process's measured region.
@@ -105,6 +125,22 @@ type Stats struct {
 	Regions perfctr.RegionCounters
 	// DiskReads counts cold-pool device reads (0 for warm runs).
 	DiskReads uint64
+	// Restored reports whether the warmup prelude was restored from a
+	// warm-state image rather than rebuilt. Host-side accounting only —
+	// core.FromStats ignores it, so cached measurement bytes are identical
+	// either way.
+	Restored bool
+	// WarmupHostNS and MeasuredHostNS split the run's host wall-clock time
+	// between the warmup prelude (build or restore) and the measured region
+	// (simulation). Host-side accounting only, like Restored.
+	// They are excluded from the JSON encoding: Stats JSON must stay a pure
+	// function of Options for digest-keyed caching and determinism tests.
+	WarmupHostNS   int64 `json:"-"`
+	MeasuredHostNS int64 `json:"-"`
+	// Sampling carries per-process sampling-estimator diagnostics (window
+	// counts, CI95 half-widths) when the run was sampled; nil for exact
+	// runs. Host-side diagnostics only, like Restored.
+	Sampling []obs.SampleEstimate
 }
 
 // SessStats aggregates DBMS-level instrumentation across processes.
@@ -152,28 +188,12 @@ func run(ctx context.Context, opts Options) (*Stats, error) {
 		return nil, fmt.Errorf("workload: no data")
 	}
 
-	ioLatency := uint64(0)
-	if opts.ColdRun {
-		scale := opts.OSTimeScale
-		if scale < 1 {
-			scale = 1
-		}
-		// 8 ms at the machine's clock, divided by the preset's time scale
-		// like the select() back-off.
-		ioLatency = uint64(opts.Spec.ClockMHz) * 8000 / uint64(scale)
-		if ioLatency < 2000 {
-			ioLatency = 2000
-		}
+	preludeStart := time.Now()
+	db, restored, err := buildDB(opts)
+	if err != nil {
+		return nil, err
 	}
-	db := engine.Open(engine.Config{
-		PoolPages:       tpch.PoolPagesFor(opts.Data),
-		SpinLimit:       opts.SpinLimit,
-		BufHeaderBytes:  opts.BufHeaderBytes,
-		HintBitFraction: opts.HintBitFraction,
-		ColdPool:        opts.ColdRun,
-		IOLatency:       ioLatency,
-	})
-	tpch.Load(db, opts.Data)
+	warmupNS := time.Since(preludeStart).Nanoseconds()
 
 	spec := opts.Spec
 	spec.SharedLimit = db.SharedBytes // dense directory covers all shared data
@@ -199,7 +219,16 @@ func run(ctx context.Context, opts Options) (*Stats, error) {
 	if opts.SimFault != nil {
 		osys.SetFaultHook(opts.SimFault)
 	}
-	if opts.Parallel && opts.Obs == nil && !opts.ColdRun {
+	var sampler *obs.SamplingController
+	if opts.SampleQuanta > 1 {
+		quantum := opts.Quantum
+		if quantum == 0 {
+			quantum = sim.DefaultQuantum
+		}
+		sampler = obs.NewSamplingController(spec.CPUs, uint64(quantum), opts.SampleQuanta)
+		osys.SetSampling(sampler)
+	}
+	if opts.Parallel && opts.Obs == nil && !opts.ColdRun && sampler == nil {
 		osys.EnableBoundWeave(sim.Clock(opts.ParallelWindow))
 		m.EnableParallel()
 		db.EnableParallel(opts.Processes)
@@ -228,6 +257,7 @@ func run(ctx context.Context, opts Options) (*Stats, error) {
 	}
 
 	m.ResetCounters() // measured region starts now (caches cold, pool warm)
+	measuredStart := time.Now()
 	if ctx != nil && ctx.Done() != nil {
 		stop := context.AfterFunc(ctx, func() { osys.Interrupt(context.Cause(ctx)) })
 		defer stop()
@@ -237,6 +267,15 @@ func run(ctx context.Context, opts Options) (*Stats, error) {
 			return nil, fmt.Errorf("workload: run aborted: %w", context.Cause(ctx))
 		}
 		return nil, err
+	}
+	measuredNS := time.Since(measuredStart).Nanoseconds()
+	if sampler != nil {
+		// Estimate the event counters the fast-forwarded quanta skipped from
+		// the measured windows' rates; the estimated counter files then flow
+		// through the normal Stats -> Measurement pipeline.
+		for i := 0; i < opts.Processes; i++ {
+			sampler.Extrapolate(i, m.Counters(i))
+		}
 	}
 
 	if opts.Validate {
@@ -255,12 +294,15 @@ func run(ctx context.Context, opts Options) (*Stats, error) {
 	}
 
 	st := &Stats{
-		DiskReads:   db.DiskReads,
-		MachineName: spec.Name,
-		ClockMHz:    spec.ClockMHz,
-		Query:       opts.Query,
-		Processes:   opts.Processes,
-		Dir:         m.Directory().Stats,
+		DiskReads:      db.DiskReads,
+		Restored:       restored,
+		WarmupHostNS:   warmupNS,
+		MeasuredHostNS: measuredNS,
+		MachineName:    spec.Name,
+		ClockMHz:       spec.ClockMHz,
+		Query:          opts.Query,
+		Processes:      opts.Processes,
+		Dir:            m.Directory().Stats,
 		Sess: SessStats{
 			BufMgrAcquires:   db.BufMgrLock.Acquires,
 			BufMgrContended:  db.BufMgrLock.Contended,
@@ -285,7 +327,74 @@ func run(ctx context.Context, opts Options) (*Stats, error) {
 			Invol:        p.InvoluntarySwitches(),
 		})
 	}
+	if sampler != nil {
+		for i := 0; i < opts.Processes; i++ {
+			st.Sampling = append(st.Sampling, sampler.Estimate(i))
+		}
+	}
 	return st, nil
+}
+
+// engineConfig derives the engine configuration from opts. It is the single
+// definition of the warmup prelude's inputs, shared by live runs, cold runs
+// and checkpoint capture, so the snapshot boundary and the cold-run boundary
+// cannot drift apart.
+func engineConfig(opts Options) engine.Config {
+	ioLatency := uint64(0)
+	if opts.ColdRun {
+		scale := opts.OSTimeScale
+		if scale < 1 {
+			scale = 1
+		}
+		// 8 ms at the machine's clock, divided by the preset's time scale
+		// like the select() back-off.
+		ioLatency = uint64(opts.Spec.ClockMHz) * 8000 / uint64(scale)
+		if ioLatency < 2000 {
+			ioLatency = 2000
+		}
+	}
+	return engine.Config{
+		PoolPages:       tpch.PoolPagesFor(opts.Data),
+		SpinLimit:       opts.SpinLimit,
+		BufHeaderBytes:  opts.BufHeaderBytes,
+		HintBitFraction: opts.HintBitFraction,
+		ColdPool:        opts.ColdRun,
+		IOLatency:       ioLatency,
+	}
+}
+
+// buildDB runs the warmup prelude: restore from opts.Warm when possible,
+// otherwise open and bulk-load. The returned bool reports a restore. A warm
+// image that fails structural validation falls back to a full rebuild —
+// checkpoints are an accelerator, never a correctness dependency.
+func buildDB(opts Options) (*engine.Database, bool, error) {
+	cfg := engineConfig(opts)
+	if opts.Warm != nil && !opts.ColdRun {
+		if db, err := engine.FromImage(opts.Warm, cfg); err == nil {
+			return db, true, nil
+		}
+	}
+	db := engine.Open(cfg)
+	tpch.Load(db, opts.Data)
+	return db, false, nil
+}
+
+// CaptureWarm runs the warmup prelude from scratch and returns the warm-state
+// image at the measured-region boundary — exactly the state a run restores
+// when Options.Warm is set. Only the prelude-shaping options matter (Data,
+// BufHeaderBytes; plus SpinLimit/HintBitFraction, which affect runtime
+// behavior but not the image); the rest may be left zero.
+func CaptureWarm(opts Options) (*engine.Image, error) {
+	if opts.Data == nil {
+		return nil, fmt.Errorf("workload: capture: no data")
+	}
+	opts.Warm = nil
+	opts.ColdRun = false
+	db, _, err := buildDB(opts)
+	if err != nil {
+		return nil, err
+	}
+	return db.Image(), nil
 }
 
 // RunTrials repeats a configuration n times with perturbed OS jitter and
